@@ -1,0 +1,42 @@
+//! Criterion benchmarks: ion-chain physics (equilibrium + normal modes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itqc_trap::chain::{pulse_alpha_sqr, IonChain, PulseSegment};
+
+fn bench_equilibrium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_equilibrium");
+    for n in [11usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(IonChain::new(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transverse_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_transverse_modes");
+    group.sample_size(20);
+    for n in [11usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let chain = IonChain::new(n);
+            // Stay above the zigzag threshold, which scales ~ N^1.72.
+            let a = 3.0 * (n as f64).powf(1.72);
+            b.iter(|| std::hint::black_box(chain.transverse_modes(a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pulse_residuals(c: &mut Criterion) {
+    c.bench_function("pulse_alpha_all_modes_n11", |b| {
+        let chain = IonChain::new(11);
+        let modes = chain.transverse_modes(25.0);
+        let segments: Vec<PulseSegment> = (0..16)
+            .map(|k| PulseSegment { amplitude: 0.05 * (1.0 + 0.1 * k as f64), duration: 3.0 })
+            .collect();
+        b.iter(|| std::hint::black_box(pulse_alpha_sqr(&segments, &modes)));
+    });
+}
+
+criterion_group!(benches, bench_equilibrium, bench_transverse_modes, bench_pulse_residuals);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks: protocol-side costs (test generation, diagnosis,
+//! multi-fault decoding) as machine size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itqc_circuit::Coupling;
+use itqc_core::decoder::{failing_set_of, minimal_covers};
+use itqc_core::{ExactExecutor, LabelSpace, SingleFaultProtocol, TestSpec};
+use std::collections::BTreeSet;
+
+fn bench_single_fault_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_fault_diagnose");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let fault = Coupling::new(1, n - 2);
+            b.iter(|| {
+                let mut exec = ExactExecutor::new(n).with_fault(fault, 0.4);
+                let protocol = SingleFaultProtocol::new(n, 4, 0.5, 1);
+                std::hint::black_box(protocol.diagnose(&mut exec))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_test_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testplan_generation");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let space = LabelSpace::new(n);
+            let couplings = space.all_couplings();
+            b.iter(|| std::hint::black_box(TestSpec::for_couplings("bench", &couplings, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_cover_decoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_cover_decoder");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let space = LabelSpace::new(n);
+            let faults = vec![Coupling::new(0, 2), Coupling::new(1, n - 1)];
+            let failing = failing_set_of(&faults, &space);
+            let none = BTreeSet::new();
+            b.iter(|| std::hint::black_box(minimal_covers(&failing, &space, &none, 3, 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_fault_diagnosis,
+    bench_test_generation,
+    bench_set_cover_decoder
+);
+criterion_main!(benches);

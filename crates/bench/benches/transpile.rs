@@ -1,0 +1,32 @@
+//! Criterion benchmarks: circuit lowering and fusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itqc_circuit::{library, transpile};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_lower_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_qft");
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let circuit = library::qft(n);
+            b.iter(|| std::hint::black_box(transpile::to_native(&circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_fuse");
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let native = transpile::to_native(&library::random_circuit(n, 6, &mut rng));
+            b.iter(|| std::hint::black_box(transpile::fuse_single_qubit_runs(&native)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_qft, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ambient-calibration machinery shared by the scaling experiments.
+
+use itqc_circuit::Coupling;
+use itqc_core::testplan::ScoreMode;
+use itqc_core::{first_round_classes, ExactExecutor, LabelSpace, TestSpec};
+use itqc_math::rng::standard_normal;
+use itqc_math::stats;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Builds an exact executor whose every coupling carries an ambient
+/// calibration error drawn `N(0, σ)` with `E|u| = mean_abs` (the paper's
+/// "10% average calibration error"), then overlays the given planted
+/// faults.
+pub fn ambient_executor<R: Rng + ?Sized>(
+    n_qubits: usize,
+    mean_abs: f64,
+    planted: &[(Coupling, f64)],
+    rng: &mut R,
+) -> ExactExecutor {
+    let space = LabelSpace::new(n_qubits);
+    let sigma = mean_abs * (std::f64::consts::PI / 2.0).sqrt();
+    let mut exec = ExactExecutor::new(n_qubits).with_faults(
+        space
+            .all_couplings()
+            .into_iter()
+            .map(|c| (c, sigma * standard_normal(rng))),
+    );
+    exec = exec.with_faults(planted.iter().copied());
+    exec
+}
+
+/// Builds an exact executor with *uniform* ambient calibration error
+/// `u ~ U(−bound, bound)` on every coupling — the reading of the paper's
+/// "10% random amplitude errors" used by the Fig. 8/9 scaling studies
+/// (see DESIGN.md §3.3) — then overlays the planted faults.
+pub fn ambient_executor_uniform<R: Rng + ?Sized>(
+    n_qubits: usize,
+    bound: f64,
+    planted: &[(Coupling, f64)],
+    rng: &mut R,
+) -> ExactExecutor {
+    let space = LabelSpace::new(n_qubits);
+    let mut exec = ExactExecutor::new(n_qubits).with_faults(
+        space
+            .all_couplings()
+            .into_iter()
+            .map(|c| (c, rng.gen_range(-bound..bound))),
+    );
+    exec = exec.with_faults(planted.iter().copied());
+    exec
+}
+
+/// Calibrates a pass/fail threshold for the scaling experiments: the
+/// `quantile` of fault-free first-round test scores under uniform ambient
+/// error, for the given depth and score mode. With `shots > 0` the scores
+/// include binomial shot noise — essential, since the protocol compares
+/// *sampled* scores against this threshold (a threshold calibrated on
+/// exact scores sits inside the shot-noise band and healthy tests would
+/// false-fail).
+pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
+    n_qubits: usize,
+    reps: usize,
+    ambient_bound: f64,
+    score: ScoreMode,
+    shots: usize,
+    quantile: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let space = LabelSpace::new(n_qubits);
+    let classes = first_round_classes(&space);
+    let none = BTreeSet::new();
+    let mut scores = Vec::with_capacity(trials * classes.len());
+    for _ in 0..trials {
+        let exec = ambient_executor_uniform(n_qubits, ambient_bound, &[], rng);
+        for class in &classes {
+            let couplings = class.couplings(&space, &none);
+            if couplings.is_empty() {
+                continue;
+            }
+            let spec = TestSpec::for_couplings("amb", &couplings, reps).with_score(score);
+            let exact = exec.exact_score(&spec);
+            let observed = if shots == 0 {
+                exact
+            } else {
+                itqc_sim::shots::binomial(rng, shots, exact.clamp(0.0, 1.0)) as f64
+                    / shots as f64
+            };
+            scores.push(observed);
+        }
+    }
+    stats::quantile(&scores, quantile)
+}
+
+/// Draws `k` distinct random couplings on an `n_qubits` machine.
+pub fn random_couplings<R: Rng + ?Sized>(n_qubits: usize, k: usize, rng: &mut R) -> Vec<Coupling> {
+    let all = LabelSpace::new(n_qubits).all_couplings();
+    assert!(k <= all.len(), "cannot pick {k} of {} couplings", all.len());
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < k {
+        picked.insert(rng.gen_range(0..all.len()));
+    }
+    picked.into_iter().map(|i| all[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_faults_override_ambient() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = Coupling::new(0, 3);
+        let exec = ambient_executor(8, 0.05, &[(c, 0.4)], &mut rng);
+        let spec = itqc_core::TestSpec::for_couplings("t", &[c], 4);
+        let f = exec.exact_fidelity(&spec);
+        let expect = (std::f64::consts::PI * 0.4).cos().powi(2);
+        assert!((f - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_couplings_are_distinct() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cs = random_couplings(8, 5, &mut rng);
+        assert_eq!(cs.len(), 5);
+        let set: std::collections::BTreeSet<_> = cs.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal CLI-argument parsing for the harness binaries.
+
+/// Common harness options: `--trials=N  --seed=S  --csv  --fast`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// Monte-Carlo trials per configuration.
+    pub trials: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Emit CSV after the human-readable tables.
+    pub csv: bool,
+    /// Shrink workloads for smoke testing.
+    pub fast: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with the given default trial count.
+    ///
+    /// Unknown arguments are ignored (forward compatibility); malformed
+    /// values fall back to the defaults.
+    pub fn parse(default_trials: usize) -> Self {
+        let mut out = Args { trials: default_trials, seed: 20220402, csv: false, fast: false };
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--trials=") {
+                if let Ok(n) = v.parse() {
+                    out.trials = n;
+                }
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                if let Ok(s) = v.parse() {
+                    out.seed = s;
+                }
+            } else if arg == "--csv" {
+                out.csv = true;
+            } else if arg == "--fast" {
+                out.fast = true;
+            }
+        }
+        if out.fast {
+            out.trials = out.trials.div_ceil(10).max(2);
+        }
+        out
+    }
+
+    /// A deterministic per-configuration seed derived from the master
+    /// seed, so adding configurations does not reshuffle earlier ones.
+    pub fn seed_for(&self, tag: &str) -> u64 {
+        // FNV-1a over the tag, mixed with the master seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_config_seeds_differ() {
+        let a = Args { trials: 10, seed: 1, csv: false, fast: false };
+        assert_ne!(a.seed_for("fig8/n=8"), a.seed_for("fig8/n=16"));
+        assert_eq!(a.seed_for("x"), a.seed_for("x"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 3 — infidelity of concatenated MS sequences, echoed vs
+//! non-echoed, for the {3,8} and {0,10} qubit pairs of an 11-ion chain.
+//!
+//! In a non-echoed sequence every MS gate has the same beam phases, so a
+//! deterministic calibration error accumulates coherently (infidelity
+//! grows ~quadratically in gate count). In an echoed sequence the phase of
+//! one ion's drive shifts by π on every successive gate, reversing the XX
+//! rotation and cancelling deterministic amplitude errors pairwise —
+//! leaving only stochastic noise (slow, ~linear growth). Pair-dependent
+//! noise levels are derived from the 11-ion chain's mode structure via the
+//! paper's Eq. (1).
+
+use itqc_bench::output::{f3, section, Table};
+use itqc_bench::Args;
+use itqc_circuit::Circuit;
+use itqc_faults::models::CouplingFault;
+use itqc_faults::phase_noise::OneOverF;
+use itqc_faults::IonTrapNoise;
+use itqc_circuit::Coupling;
+use itqc_sim::trajectory::run_trajectory;
+use itqc_sim::{run, StateVector};
+use itqc_trap::chain::{eq1_fidelity_for_pair, IonChain, PulseSegment};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Builds the K-gate sequence on a 2-qubit register; `echoed` shifts one
+/// ion's phase by π on every other gate.
+fn sequence(k: usize, echoed: bool) -> Circuit {
+    let mut c = Circuit::new(2);
+    for g in 0..k {
+        let phi1 = if echoed && g % 2 == 1 { PI } else { 0.0 };
+        c.ms(0, 1, FRAC_PI_2, phi1, 0.0);
+    }
+    c
+}
+
+/// Average infidelity of the noisy sequence against its ideal output.
+fn infidelity(
+    k: usize,
+    echoed: bool,
+    calib_error: f64,
+    phase_rms: f64,
+    residual_odd: f64,
+    trials: usize,
+    rng: &mut SmallRng,
+) -> f64 {
+    let circuit = sequence(k, echoed);
+    let ideal: StateVector = run(&circuit);
+    let mut model = IonTrapNoise::new()
+        .with_coupling_fault(CouplingFault::new(Coupling::new(0, 1), calib_error))
+        .with_residual_coupling(residual_odd);
+    if phase_rms > 0.0 {
+        model = model.with_phase_noise(OneOverF::new(phase_rms, 1.0, 8), 0.2);
+    }
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let noisy = run_trajectory(&circuit, &mut model, rng);
+        acc += 1.0 - noisy.fidelity(&ideal);
+    }
+    acc / trials as f64
+}
+
+fn main() {
+    let args = Args::parse(200);
+    section("Fig. 3: concatenated MS sequences, echoed vs non-echoed (11-ion chain)");
+
+    // Pair-dependent noise magnitudes from the chain physics: the residual
+    // bus coupling of each pair follows Eq. (1) with a pulse tuned to the
+    // transverse COM mode.
+    let chain = IonChain::new(11);
+    let anisotropy: f64 = 25.0;
+    let omega_com = anisotropy.sqrt();
+    let tau = 2.0 * PI / omega_com * 40.0;
+    let pulse = [PulseSegment { amplitude: 0.05, duration: tau * 1.004 }];
+    let pairs = [(3usize, 8usize), (0usize, 10usize)];
+    println!("chain-derived Eq.(1) per-pair residual infidelity:");
+    let mut residuals = Vec::new();
+    for &(i, j) in &pairs {
+        let f = eq1_fidelity_for_pair(&chain, anisotropy, 0.08, &pulse, i, j);
+        let odd = (1.0 - f).clamp(0.0, 0.05);
+        println!("    pair {{{i},{j}}}: Eq.(1) fidelity {:.4} -> odd-population {:.4}", f, odd);
+        residuals.push(odd);
+    }
+    // Deterministic calibration offsets differ per pair (edge pairs couple
+    // to more spectator modes — {0,10} is taken slightly worse, matching
+    // the ordering visible in the paper's data).
+    let calib = [0.012, 0.020];
+    let phase_rms = 0.05;
+
+    let mut table = Table::new([
+        "gates",
+        "{3,8} no-echo",
+        "{3,8} echo",
+        "{0,10} no-echo",
+        "{0,10} echo",
+    ]);
+    let mut rng = SmallRng::seed_from_u64(args.seed_for("fig3"));
+    let ks: Vec<usize> = (1..=10).map(|x| 2 * x).collect();
+    for &k in &ks {
+        let mut cells = vec![k.to_string()];
+        for p in 0..2 {
+            for echoed in [false, true] {
+                let inf = infidelity(
+                    k,
+                    echoed,
+                    calib[p],
+                    phase_rms,
+                    residuals[p],
+                    args.trials,
+                    &mut rng,
+                );
+                cells.push(f3(inf));
+            }
+        }
+        // Reorder: pair0 no-echo, pair0 echo, pair1 no-echo, pair1 echo.
+        table.row(cells);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "expected shape (paper): non-echoed infidelity grows coherently\n\
+         (~quadratic in gate count); echoed sequences cancel the deterministic\n\
+         error and grow slowly; pair {{0,10}} sits above pair {{3,8}}."
+    );
+    if args.csv {
+        println!("\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,110 @@
+//! Table II — probability of identifying 1, 2, and 3 simultaneous
+//! same-magnitude faults on 8, 16, and 32 qubits.
+//!
+//! Equal-magnitude faults cannot be separated by the repetition ladder, so
+//! identification rests entirely on the combinatorics: the observed
+//! first-round failing set is the union of the individual syndromes, and
+//! as faults accumulate, unions start aliasing ("how syndromes start
+//! repeating with the increased number of faults", §VII). Each trial
+//! plants k distinct faults of 30% under-rotation, runs the full
+//! sequential pipeline on a clean machine oracle, and requires the
+//! diagnosed set to equal the planted set exactly.
+//!
+//! The paper's reference values:
+//!
+//! | qubits | 1 fault | 2 faults | 3 faults |
+//! |--------|---------|----------|----------|
+//! |   8    |  100%   |   47%    |   22%    |
+//! |  16    |  100%   |   23%    |    5%    |
+//! |  32    |  100%   |   12%    |    1%    |
+//!
+//! Also reported: the same trials with the set-cover + point-verification
+//! fallback enabled — this workspace's extension beyond the paper's
+//! pipeline (an ablation of `MultiFaultConfig::use_cover_fallback`).
+
+use itqc_bench::ambient::random_couplings;
+use itqc_bench::output::{pct, section, Table};
+use itqc_bench::Args;
+use itqc_core::testplan::ScoreMode;
+use itqc_core::{diagnose_all, ExactExecutor, MultiFaultConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const FAULT_U: f64 = 0.30;
+
+fn run_trials(n: usize, k: usize, trials: usize, fallback: bool, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let config = MultiFaultConfig {
+        reps_ladder: vec![2, 4],
+        threshold: 0.5,
+        canary_threshold: 0.5,
+        shots: 1, // oracle executor: exact scores, no shot noise
+        canary_shots: 1,
+        max_faults: k + 2,
+        use_cover_fallback: fallback,
+        score: ScoreMode::ExactTarget,
+        canary_score: ScoreMode::WorstQubit,
+        max_threshold_retunes: 4,
+        fault_magnitude: 0.10,
+    };
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let faults = random_couplings(n, k, &mut rng);
+        let mut exec =
+            ExactExecutor::new(n).with_faults(faults.iter().map(|&c| (c, FAULT_U)));
+        let report = diagnose_all(&mut exec, n, &config);
+        let mut truth = faults.clone();
+        truth.sort();
+        if report.couplings() == truth {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+fn main() {
+    let args = Args::parse(300);
+    section("Table II: P(identify) for k same-magnitude faults (paper pipeline)");
+
+    let paper: [[f64; 3]; 3] = [[1.00, 0.47, 0.22], [1.00, 0.23, 0.05], [1.00, 0.12, 0.01]];
+
+    let mut t = Table::new([
+        "qubits",
+        "1 fault",
+        "(paper)",
+        "2 faults",
+        "(paper)",
+        "3 faults",
+        "(paper)",
+    ]);
+    for (ni, n) in [8usize, 16, 32].into_iter().enumerate() {
+        let mut cells = vec![n.to_string()];
+        for k in 1..=3usize {
+            let trials = if n == 32 && k == 3 { args.trials / 2 } else { args.trials };
+            let p = run_trials(n, k, trials.max(2), false, args.seed_for(&format!("t2/{n}/{k}")));
+            cells.push(pct(p));
+            cells.push(format!("({})", pct(paper[ni][k - 1])));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    section("extension ablation: set-cover fallback + point verification enabled");
+    let mut t2 = Table::new(["qubits", "1 fault", "2 faults", "3 faults"]);
+    for n in [8usize, 16, 32] {
+        let mut cells = vec![n.to_string()];
+        for k in 1..=3usize {
+            let trials = (if n == 32 { args.trials / 2 } else { args.trials }).max(2);
+            let p = run_trials(n, k, trials, true, args.seed_for(&format!("t2fb/{n}/{k}")));
+            cells.push(pct(p));
+        }
+        t2.row(cells);
+    }
+    println!("{}", t2.render());
+    println!(
+        "expected shape: single faults are always identified; multi-fault\n\
+         identification decays with both fault count and machine size (syndrome\n\
+         aliasing grows); the set-cover fallback recovers a large share of the\n\
+         collided cases at the price of extra point-verification tests."
+    );
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/{fig*,table*}.rs` binary reproduces one evaluation
+//! artefact and prints the same rows/series the paper reports. This
+//! library holds the shared pieces: aligned table rendering, a
+//! shot-sampling executor wrapper, ambient-calibration machinery, and tiny
+//! CLI-argument parsing.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for b in table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2; do
+//!     cargo run --release -p itqc-bench --bin $b
+//! done
+//! ```
+//!
+//! Every binary accepts `--trials=N` (Monte-Carlo budget) and `--seed=S`;
+//! defaults are sized to finish in tens of seconds to a few minutes in
+//! release mode. `EXPERIMENTS.md` records paper-vs-measured values.
+
+pub mod ambient;
+pub mod args;
+pub mod output;
+pub mod shot_exec;
+
+pub use ambient::ambient_executor;
+pub use args::Args;
+pub use output::Table;
+pub use shot_exec::ShotSampled;

@@ -1,0 +1,64 @@
+//! Shot-sampling wrapper around any exact executor.
+
+use itqc_core::executor::TestExecutor;
+use itqc_core::TestSpec;
+use itqc_sim::shots::binomial;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Wraps an exact executor and converts its fidelities into `shots`-shot
+/// binomial estimates — the statistics a hardware run would report.
+#[derive(Clone, Debug)]
+pub struct ShotSampled<E> {
+    inner: E,
+    rng: SmallRng,
+}
+
+impl<E: TestExecutor> ShotSampled<E> {
+    /// Wraps `inner` with a deterministic shot-noise stream.
+    pub fn new(inner: E, seed: u64) -> Self {
+        ShotSampled { inner, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: TestExecutor> TestExecutor for ShotSampled<E> {
+    fn n_qubits(&self) -> usize {
+        self.inner.n_qubits()
+    }
+
+    fn run_test(&mut self, spec: &TestSpec, shots: usize) -> f64 {
+        let p = self.inner.run_test(spec, shots).clamp(0.0, 1.0);
+        if shots == 0 {
+            return p;
+        }
+        binomial(&mut self.rng, shots, p) as f64 / shots as f64
+    }
+
+    fn note_adaptation(&mut self, couplings_compiled: usize) {
+        self.inner.note_adaptation(couplings_compiled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itqc_circuit::Coupling;
+    use itqc_core::ExactExecutor;
+
+    #[test]
+    fn shot_noise_stays_near_truth() {
+        let exact = ExactExecutor::new(4).with_fault(Coupling::new(0, 1), 0.22);
+        let mut wrapped = ShotSampled::new(exact, 7);
+        let spec = TestSpec::for_couplings("t", &[Coupling::new(0, 1)], 4);
+        let truth = (std::f64::consts::PI * 0.22).cos().powi(2);
+        for _ in 0..20 {
+            let f = wrapped.run_test(&spec, 300);
+            assert!((f - truth).abs() < 0.12, "{f} vs {truth}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Quantum circuit layer for the `itqc` workspace.
+//!
+//! Provides the gate set (including the ion-trap native Mølmer–Sørensen
+//! family and the paper's Fig. 4 fault-model gates), a circuit IR with a
+//! chaining builder, a library of standard algorithms used as "real-life"
+//! workloads (Fig. 11), and a transpiler lowering arbitrary circuits to the
+//! native `{R(θ,φ), Rz, XX}` set via the paper's §II-B CNOT identity.
+//!
+//! # Example
+//!
+//! ```
+//! use itqc_circuit::{library, transpile};
+//!
+//! // Build a GHZ circuit, lower it to native ion-trap gates, and census
+//! // the couplings it exercises (the paper's Fig. 11 measurement).
+//! let ghz = library::ghz(4);
+//! let native = transpile::to_native_optimized(&ghz);
+//! assert!(native.is_native());
+//! assert_eq!(native.used_couplings().len(), 3);
+//! ```
+
+pub mod circuit;
+pub mod gates;
+pub mod library;
+pub mod transpile;
+
+pub use circuit::{Circuit, Coupling, Op};
+pub use gates::Gate;

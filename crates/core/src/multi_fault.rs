@@ -1,0 +1,509 @@
+//! Multi-fault diagnosis: the Fig. 5 state machine (§V-C).
+//!
+//! The key principle: *separate faults in time and magnitude before
+//! diagnosing them; diagnosed faults are separated by exclusion.* The
+//! loop is: canary → pick the gate-repetition count that just trips the
+//! full-coupling test (magnitude separation; larger faults trip at lower
+//! amplification) → run the single-fault protocol at that amplification →
+//! verify → exclude the diagnosed coupling → repeat until the canary
+//! passes. Costs: `4k + 1` adaptive rounds for `k` faults (paper §V-C).
+//!
+//! When faults of equal magnitude collide (conflicting syndromes), the
+//! paper's pipeline cannot separate them — that residual failure
+//! probability is exactly what Table II quantifies. As an optional
+//! extension beyond the paper (documented in `DESIGN.md`), the
+//! [`set-cover decoder`](crate::decoder) can propose candidate sets whose
+//! members are then point-verified individually; enable it with
+//! [`MultiFaultConfig::use_cover_fallback`].
+
+use crate::classes::{first_round_classes, LabelSpace};
+use crate::decoder::{self, FailingSet};
+use crate::executor::TestExecutor;
+use crate::single_fault::{Diagnosis, SingleFaultProtocol};
+use crate::testplan::{ScoreMode, TestSpec};
+use itqc_circuit::Coupling;
+use std::collections::BTreeSet;
+
+/// Configuration of the multi-fault loop.
+#[derive(Clone, Debug)]
+pub struct MultiFaultConfig {
+    /// Ascending even repetition counts tried for magnitude separation.
+    pub reps_ladder: Vec<usize>,
+    /// Pass/fail fidelity threshold for class and verification tests.
+    pub threshold: f64,
+    /// Pass/fail threshold for the full-coupling canary test (usually
+    /// lower: it accumulates ambient error over every coupling).
+    pub canary_threshold: f64,
+    /// Shots per test circuit.
+    pub shots: usize,
+    /// Shots for the cheap canary/magnitude tripwire tests (a coarse
+    /// pass/fail needs far fewer shots than a diagnosis test).
+    pub canary_shots: usize,
+    /// Abort after this many diagnosed faults (sanity bound).
+    pub max_faults: usize,
+    /// Enables the set-cover + point-verification fallback on syndrome
+    /// conflicts (extension beyond the paper's pipeline).
+    pub use_cover_fallback: bool,
+    /// Pass/fail statistic for every test in the pipeline.
+    pub score: ScoreMode,
+    /// Pass/fail statistic for the full-coupling canary and magnitude
+    /// probes. Defaults to [`ScoreMode::WorstQubit`]: a canary spans every
+    /// coupling, so its exact-string statistic is both exponentially
+    /// fragile and (at 32+ qubits) beyond the exact engine's support.
+    pub canary_score: ScoreMode,
+    /// Fig. 5's threshold adjustment: on conflicting syndromes, retry the
+    /// single-fault protocol with up to this many lowered thresholds
+    /// (placed in the gaps of the observed round-1 scores) so that only
+    /// the largest fault trips tests. 0 disables.
+    pub max_threshold_retunes: usize,
+    /// Minimum |under-rotation| that counts as a fault during magnitude
+    /// verification of retuned diagnoses (the paper's ~10% recalibration
+    /// line in Fig. 7C).
+    pub fault_magnitude: f64,
+}
+
+impl MultiFaultConfig {
+    /// Paper-flavoured defaults: 2-MS and 4-MS tests, 0.5/0.25 thresholds,
+    /// 300 shots, no fallback.
+    pub fn paper_defaults() -> Self {
+        MultiFaultConfig {
+            reps_ladder: vec![2, 4],
+            threshold: 0.5,
+            canary_threshold: 0.25,
+            shots: 300,
+            canary_shots: 30,
+            max_faults: 8,
+            use_cover_fallback: false,
+            score: ScoreMode::ExactTarget,
+            canary_score: ScoreMode::WorstQubit,
+            max_threshold_retunes: 4,
+            fault_magnitude: 0.10,
+        }
+    }
+}
+
+/// One diagnosed coupling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiagnosedFault {
+    /// The coupling found faulty (and verified).
+    pub coupling: Coupling,
+    /// The repetition count at which it was isolated.
+    pub reps: usize,
+}
+
+/// Outcome of a full multi-fault diagnosis run.
+#[derive(Clone, Debug)]
+pub struct MultiFaultReport {
+    /// Diagnosed (verified) faults in discovery order.
+    pub diagnosed: Vec<DiagnosedFault>,
+    /// Total test circuits executed.
+    pub tests_run: usize,
+    /// Total adaptive rounds consumed.
+    pub adaptations: usize,
+    /// `true` when the final canary passed (machine clean after
+    /// excluding the diagnosed couplings).
+    pub converged: bool,
+}
+
+impl MultiFaultReport {
+    /// Just the coupling list, sorted.
+    pub fn couplings(&self) -> Vec<Coupling> {
+        let mut out: Vec<Coupling> = self.diagnosed.iter().map(|d| d.coupling).collect();
+        out.sort();
+        out
+    }
+}
+
+/// Runs the full Fig. 5 loop.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or contains odd repetition counts.
+pub fn diagnose_all<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    config: &MultiFaultConfig,
+) -> MultiFaultReport {
+    diagnose_all_excluding(exec, n_qubits, config, &BTreeSet::new())
+}
+
+/// [`diagnose_all`] with couplings excluded up front — already-diagnosed
+/// (quarantined/mapped-around) or physically unused couplings, per
+/// Corollary V.12. Excluded couplings appear in no test and are never
+/// accused.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or contains odd repetition counts.
+pub fn diagnose_all_excluding<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    config: &MultiFaultConfig,
+    pre_excluded: &BTreeSet<Coupling>,
+) -> MultiFaultReport {
+    assert!(!config.reps_ladder.is_empty(), "need at least one repetition count");
+    assert!(
+        config.reps_ladder.iter().all(|r| r % 2 == 0 && *r >= 2),
+        "repetition counts must be even"
+    );
+    let space = LabelSpace::new(n_qubits);
+    let mut excluded: BTreeSet<Coupling> = pre_excluded.clone();
+    let mut diagnosed: Vec<DiagnosedFault> = Vec::new();
+    let mut tests_run = 0usize;
+    let mut adaptations = 0usize;
+    let max_reps = *config.reps_ladder.last().unwrap();
+    let mut converged = false;
+
+    'outer: while diagnosed.len() <= config.max_faults {
+        // Canary: every relevant coupling at maximal amplification.
+        let relevant: Vec<Coupling> = space
+            .all_couplings()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+        if relevant.is_empty() {
+            converged = true;
+            break;
+        }
+        let canary = TestSpec::for_couplings("canary", &relevant, max_reps)
+            .with_score(config.canary_score);
+        tests_run += 1;
+        let f = exec.run_test(&canary, config.canary_shots);
+        if f >= config.canary_threshold {
+            converged = true;
+            break;
+        }
+
+        // Magnitude separation: smallest amplification that still trips
+        // the full-coupling test (the biggest fault dominates there).
+        adaptations += 1;
+        exec.note_adaptation(relevant.len());
+        let mut start_idx = config.reps_ladder.len() - 1;
+        for (idx, &r) in config.reps_ladder.iter().enumerate() {
+            if r == max_reps {
+                break; // canary already told us it fails at max_reps
+            }
+            let probe = TestSpec::for_couplings(format!("magnitude x{r}MS"), &relevant, r)
+                .with_score(config.canary_score);
+            tests_run += 1;
+            if exec.run_test(&probe, config.canary_shots) < config.canary_threshold {
+                start_idx = idx;
+                break;
+            }
+        }
+
+        // Single-fault diagnosis, escalating amplification if nothing is
+        // pinned down at the separation level.
+        let mut progressed = false;
+        for &reps in &config.reps_ladder[start_idx..] {
+            let protocol = SingleFaultProtocol::new(n_qubits, reps, config.threshold, config.shots)
+                .with_score(config.score)
+                .exclude(excluded.iter().copied());
+            let report = protocol.diagnose(exec);
+            tests_run += report.tests_run();
+            adaptations += report.adaptations;
+            match report.diagnosis {
+                Diagnosis::Fault(coupling) => {
+                    diagnosed.push(DiagnosedFault { coupling, reps });
+                    excluded.insert(coupling);
+                    // Restart with the updated exclusion set (one more
+                    // adaptive round: reconfigure the relevant set).
+                    adaptations += 1;
+                    exec.note_adaptation(1);
+                    progressed = true;
+                    break;
+                }
+                Diagnosis::MultipleFaultsSuspected => {
+                    // Fig. 5: "reduce gate repetitions … the threshold is
+                    // adjusted accordingly to maximise the fault vs
+                    // no-fault contrast." Lower the threshold into the
+                    // gaps of the observed score distribution so only the
+                    // largest fault trips tests.
+                    if config.max_threshold_retunes > 0 {
+                        if let Some(c) = retune_and_isolate(
+                            exec,
+                            n_qubits,
+                            &excluded,
+                            config,
+                            reps,
+                            &report,
+                            &mut tests_run,
+                            &mut adaptations,
+                        ) {
+                            diagnosed.push(DiagnosedFault { coupling: c, reps });
+                            excluded.insert(c);
+                            adaptations += 1;
+                            exec.note_adaptation(1);
+                            progressed = true;
+                            break;
+                        }
+                    }
+                    if config.use_cover_fallback {
+                        let confirmed = cover_fallback(
+                            exec,
+                            &space,
+                            &excluded,
+                            config,
+                            reps,
+                            &mut tests_run,
+                            &mut adaptations,
+                        );
+                        if !confirmed.is_empty() {
+                            for c in confirmed {
+                                diagnosed.push(DiagnosedFault { coupling: c, reps });
+                                excluded.insert(c);
+                            }
+                            progressed = true;
+                            break;
+                        }
+                    }
+                    // Equal-magnitude collision the pipeline cannot split.
+                    break 'outer;
+                }
+                Diagnosis::NoFault | Diagnosis::Inconclusive => {
+                    // Not visible at this amplification; escalate.
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    MultiFaultReport { diagnosed, tests_run, adaptations, converged }
+}
+
+/// Estimates the under-rotation magnitude of one coupling from a point
+/// test and checks it against the configured fault line. A point test at
+/// `r` repetitions scores `(1 + cos(r·u·π/2))/2`; inverted, that gives
+/// `|û|`. Verification is capped at 4 repetitions so `|u| ≤ 0.5` stays on
+/// the principal branch (no accidental-cancellation aliasing —
+/// footnote 8's concern).
+fn magnitude_verify<E: TestExecutor>(
+    exec: &mut E,
+    coupling: Coupling,
+    reps: usize,
+    config: &MultiFaultConfig,
+    tests_run: &mut usize,
+) -> bool {
+    let verify_reps = reps.min(4).max(2);
+    let spec = TestSpec::for_couplings(format!("magnitude verify {coupling}"), &[coupling], verify_reps)
+        .with_score(config.score);
+    *tests_run += 1;
+    let s = exec.run_test(&spec, config.shots).clamp(0.0, 1.0);
+    let dev = (2.0 * s - 1.0).clamp(-1.0, 1.0).acos();
+    let u_est = dev / (verify_reps as f64 * std::f64::consts::FRAC_PI_2);
+    u_est.abs() >= config.fault_magnitude
+}
+
+/// Fig. 5's threshold-adjustment loop: take the conflicted first round's
+/// observed scores, place candidate thresholds in the gaps between the
+/// lowest scores (ascending), and re-run the single-fault protocol at each
+/// until one isolates a coupling whose magnitude verification confirms a
+/// real outlier.
+#[allow(clippy::too_many_arguments)]
+fn retune_and_isolate<E: TestExecutor>(
+    exec: &mut E,
+    n_qubits: usize,
+    excluded: &BTreeSet<Coupling>,
+    config: &MultiFaultConfig,
+    reps: usize,
+    conflicted: &crate::single_fault::DiagnosisReport,
+    tests_run: &mut usize,
+    adaptations: &mut usize,
+) -> Option<Coupling> {
+    let mut scores: Vec<f64> = conflicted.tests.iter().map(|t| t.fidelity).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    let candidates: Vec<f64> = scores
+        .windows(2)
+        .map(|w| (w[0] + w[1]) / 2.0)
+        .filter(|&t| t < config.threshold)
+        .take(config.max_threshold_retunes)
+        .collect();
+    for t in candidates {
+        *adaptations += 1;
+        exec.note_adaptation(0);
+        let protocol = SingleFaultProtocol::new(n_qubits, reps, t, config.shots)
+            .with_score(config.score)
+            .exclude(excluded.iter().copied());
+        let report = protocol.diagnose(exec);
+        *tests_run += report.tests_run();
+        *adaptations += report.adaptations;
+        let candidate = match report.diagnosis {
+            Diagnosis::Fault(c) => Some(c),
+            Diagnosis::Inconclusive | Diagnosis::NoFault => report.candidate,
+            Diagnosis::MultipleFaultsSuspected => None,
+        };
+        if let Some(c) = candidate {
+            if magnitude_verify(exec, c, reps, config, tests_run) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Extension path: on conflicting syndromes, re-observe the first-round
+/// failing set, enumerate minimal set-cover explanations, and point-test
+/// every implicated coupling individually. Returns verified faults.
+fn cover_fallback<E: TestExecutor>(
+    exec: &mut E,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+    config: &MultiFaultConfig,
+    reps: usize,
+    tests_run: &mut usize,
+    adaptations: &mut usize,
+) -> Vec<Coupling> {
+    // Re-observe round 1 as a failing set.
+    let mut failing: FailingSet = FailingSet::new();
+    for class in first_round_classes(space) {
+        let couplings = class.couplings(space, excluded);
+        if couplings.is_empty() {
+            continue;
+        }
+        let spec = TestSpec::for_couplings(format!("fallback round1 {class}"), &couplings, reps)
+            .with_score(config.score);
+        *tests_run += 1;
+        if exec.run_test(&spec, config.shots) < config.threshold {
+            failing.insert((class.bit, class.value));
+        }
+    }
+    *adaptations += 1;
+    exec.note_adaptation(0);
+    // Candidates implicated by any minimal explanation.
+    let covers = decoder::minimal_covers(&failing, space, excluded, config.max_faults, 8);
+    let mut implicated: BTreeSet<Coupling> = covers.into_iter().flatten().collect();
+    // Complementary pairs are invisible to round 1; point-testing them all
+    // would defeat the log-test budget, so only syndrome-bearing
+    // candidates are checked here.
+    let mut confirmed = Vec::new();
+    while let Some(c) = implicated.pop_first() {
+        let spec = TestSpec::for_couplings(format!("fallback verify {c}"), &[c], reps)
+            .with_score(config.score);
+        *tests_run += 1;
+        if exec.run_test(&spec, config.shots) < config.threshold {
+            confirmed.push(c);
+        }
+    }
+    confirmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExactExecutor;
+
+    fn config() -> MultiFaultConfig {
+        MultiFaultConfig {
+            reps_ladder: vec![2, 4],
+            threshold: 0.5,
+            canary_threshold: 0.5,
+            shots: 1,
+            canary_shots: 1,
+            max_faults: 6,
+            use_cover_fallback: false,
+            score: ScoreMode::ExactTarget,
+            canary_score: ScoreMode::ExactTarget,
+            max_threshold_retunes: 0,
+            fault_magnitude: 0.10,
+        }
+    }
+
+    #[test]
+    fn clean_machine_converges_immediately() {
+        let mut exec = ExactExecutor::new(8);
+        let report = diagnose_all(&mut exec, 8, &config());
+        assert!(report.converged);
+        assert!(report.diagnosed.is_empty());
+        assert_eq!(report.tests_run, 1, "one canary only");
+    }
+
+    #[test]
+    fn single_fault_end_to_end() {
+        let truth = Coupling::new(2, 6);
+        let mut exec = ExactExecutor::new(8).with_fault(truth, 0.35);
+        let report = diagnose_all(&mut exec, 8, &config());
+        assert!(report.converged);
+        assert_eq!(report.couplings(), vec![truth]);
+        // Cost model: ~4k+1 adaptations for k faults (§V-C).
+        assert!(
+            report.adaptations <= 4 + 2,
+            "adaptations {} exceed the 4k+1 budget (+slack)",
+            report.adaptations
+        );
+    }
+
+    #[test]
+    fn two_faults_of_different_magnitude_are_peeled() {
+        // A big fault and a small one: magnitude separation isolates the
+        // big one at low amplification, the small one after exclusion.
+        let big = Coupling::new(0, 4);
+        let small = Coupling::new(2, 5);
+        let mut exec = ExactExecutor::new(8)
+            .with_fault(big, 0.45)
+            .with_fault(small, 0.16);
+        let mut cfg = config();
+        cfg.reps_ladder = vec![2, 4, 8];
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "did not converge: {report:?}");
+        assert_eq!(report.couplings(), vec![big, small]);
+        assert!(report.adaptations <= 4 * 2 + 2, "adaptations {}", report.adaptations);
+    }
+
+    #[test]
+    fn three_faults_spread_in_magnitude() {
+        let faults = [
+            (Coupling::new(0, 7), 0.48),
+            (Coupling::new(1, 3), 0.22),
+            (Coupling::new(4, 6), 0.09),
+        ];
+        let mut exec = ExactExecutor::new(8).with_faults(faults.iter().map(|&(c, u)| (c, u)));
+        let mut cfg = config();
+        cfg.reps_ladder = vec![2, 4, 8, 16];
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        let mut expect: Vec<Coupling> = faults.iter().map(|&(c, _)| c).collect();
+        expect.sort();
+        assert_eq!(report.couplings(), expect);
+    }
+
+    #[test]
+    fn equal_magnitude_collision_without_fallback_fails_gracefully() {
+        // Conflicting syndromes at equal magnitude: the paper pipeline
+        // stops without mis-diagnosing.
+        let a = Coupling::new(0, 2); // syndrome (0,0),(2,0)
+        let b = Coupling::new(1, 3); // syndrome (0,1),(2,0) → conflict at bit 0
+        let mut exec = ExactExecutor::new(8).with_fault(a, 0.3).with_fault(b, 0.3);
+        let report = diagnose_all(&mut exec, 8, &config());
+        assert!(!report.converged);
+        for d in &report.diagnosed {
+            assert!(d.coupling == a || d.coupling == b, "no false accusations");
+        }
+    }
+
+    #[test]
+    fn cover_fallback_resolves_equal_magnitude_collision() {
+        let a = Coupling::new(0, 2);
+        let b = Coupling::new(1, 3);
+        let mut exec = ExactExecutor::new(8).with_fault(a, 0.3).with_fault(b, 0.3);
+        let mut cfg = config();
+        cfg.use_cover_fallback = true;
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), vec![a, b]);
+    }
+
+    #[test]
+    fn sixteen_qubits_two_faults() {
+        let big = Coupling::new(3, 12);
+        let small = Coupling::new(0, 9);
+        let mut exec = ExactExecutor::new(16).with_fault(big, 0.42).with_fault(small, 0.14);
+        let mut cfg = config();
+        cfg.reps_ladder = vec![2, 4, 8];
+        let report = diagnose_all(&mut exec, 16, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), vec![small, big].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+    }
+}

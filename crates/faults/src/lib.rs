@@ -1,0 +1,28 @@
+//! Fault taxonomy and noise models for ion-trap quantum computers.
+//!
+//! Implements §III of the paper: the Table-I fault classification
+//! ([`taxonomy`]), the Fig.-4 unitary fault models ([`models`]), the noise
+//! processes of the paper's validated unitary-error simulator — 1/f phase
+//! noise ([`phase_noise`]), residual bus coupling ([`residual`]), SPAM
+//! ([`spam`]) — calibration drift ([`drift`]), the Eq. (1)/(2) fidelity
+//! estimators ([`estimator`]), and the composite
+//! [`noise_model::IonTrapNoise`] trajectory model gluing it
+//! all together.
+//!
+//! The Fig.-9 composite under-rotation distribution lives in
+//! [`itqc_math::rng::CompositeUnderRotation`] and is re-exported here.
+
+pub mod drift;
+pub mod estimator;
+pub mod models;
+pub mod noise_model;
+pub mod phase_noise;
+pub mod residual;
+pub mod spam;
+pub mod taxonomy;
+
+pub use itqc_math::rng::CompositeUnderRotation;
+pub use models::CouplingFault;
+pub use noise_model::IonTrapNoise;
+pub use spam::SpamModel;
+pub use taxonomy::{Determinism, FaultKind, TimeScale, Unitarity};

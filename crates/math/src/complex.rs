@@ -1,0 +1,317 @@
+//! Double-precision complex numbers.
+//!
+//! A minimal, allocation-free complex type covering everything the quantum
+//! simulators need: field arithmetic, conjugation, polar form, and the
+//! complex exponential. Implemented locally so the workspace does not pull in
+//! `num-complex` (see `DESIGN.md` §5).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use itqc_math::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ` (the "cis" function).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use itqc_math::Complex64;
+    /// let z = Complex64::cis(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-15 && z.im.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::cis(theta) * r
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Returns the squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns the argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::cis(self.im) * self.re.exp()
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "attempted to invert zero");
+        Complex64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Returns the principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns `true` when both parts are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs * self
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(0.5, 0.125);
+        assert!((a + b).approx_eq(b + a, 0.0));
+        assert!((a * b).approx_eq(b * a, 1e-15));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-12));
+        assert!((a / a).approx_eq(Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert!((z * z.conj()).approx_eq(Complex64::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, FRAC_PI_2);
+        assert!(z.approx_eq(Complex64::new(0.0, 2.0), 1e-12));
+        assert!((z.arg() - FRAC_PI_2).abs() < 1e-12);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_identity() {
+        // Euler: e^{iπ} + 1 = 0.
+        let z = (Complex64::I * PI).exp();
+        assert!((z + Complex64::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex64::new(-1.0, 0.5);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn division_matches_textbook_formula() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        let q = a / b;
+        // (1+2i)/(3-i) = (1+2i)(3+i)/10 = (1+7i)/10
+        assert!(q.approx_eq(Complex64::new(0.1, 0.7), 1e-12));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex64 = (0..4).map(|k| Complex64::cis(PI / 2.0 * k as f64)).sum();
+        assert!(s.norm() < 1e-12, "fourth roots of unity sum to zero");
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

@@ -1,0 +1,210 @@
+//! Symmetric eigenproblems via the cyclic Jacobi method.
+//!
+//! The ion-chain normal-mode computation (`itqc-trap::chain`) needs all
+//! eigenvalues and eigenvectors of a small (N ≤ a few hundred) real symmetric
+//! Hessian. Cyclic Jacobi is simple, numerically robust, and more than fast
+//! enough at these sizes.
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors stored row-major: `vectors[k]` is the unit eigenvector
+    /// for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenvalues/eigenvectors of a real symmetric matrix given in
+/// row-major order.
+///
+/// Off-diagonal asymmetry up to `1e-9` is tolerated (the matrix is
+/// symmetrised internally); larger asymmetry panics.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n`, or the matrix is materially non-symmetric,
+/// or the iteration fails to converge (pathological input).
+///
+/// # Example
+///
+/// ```
+/// use itqc_math::eig::sym_eig;
+/// // [[2,1],[1,2]] has eigenvalues 1 and 3.
+/// let e = sym_eig(&[2.0, 1.0, 1.0, 2.0], 2);
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn sym_eig(a: &[f64], n: usize) -> SymEig {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    let mut m = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let x = a[r * n + c];
+            let y = a[c * n + r];
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "matrix is not symmetric at ({r},{c})"
+            );
+            m[r * n + c] = 0.5 * (x + y);
+        }
+    }
+    // V starts as identity and accumulates rotations.
+    let mut v = vec![0.0; n * n];
+    for k in 0..n {
+        v[k * n + k] = 1.0;
+    }
+
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m[r * n + c] * m[r * n + c];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frobenius(&m, n)) {
+            return finish(m, v, n);
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Classic Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let cos = 1.0 / (t * t + 1.0).sqrt();
+                let sin = t * cos;
+
+                // Update rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = cos * mkp - sin * mkq;
+                    m[k * n + q] = sin * mkp + cos * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = cos * mpk - sin * mqk;
+                    m[q * n + k] = sin * mpk + cos * mqk;
+                }
+                // Accumulate the rotation into V (columns p and q).
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = cos * vkp - sin * vkq;
+                    v[k * n + q] = sin * vkp + cos * vkq;
+                }
+            }
+        }
+    }
+    panic!("Jacobi eigensolver failed to converge in {max_sweeps} sweeps");
+}
+
+fn frobenius(m: &[f64], n: usize) -> f64 {
+    m.iter().take(n * n).map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn finish(m: Vec<f64>, v: Vec<f64>, n: usize) -> SymEig {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[i * n + i].partial_cmp(&m[j * n + j]).unwrap());
+    let values = order.iter().map(|&k| m[k * n + k]).collect();
+    let vectors = order
+        .iter()
+        .map(|&k| (0..n).map(|r| v[r * n + k]).collect())
+        .collect();
+    SymEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn matvec(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = [3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let e = sym_eig(&a, 3);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_reconstruction() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 12;
+        let mut a = vec![0.0; n * n];
+        for r in 0..n {
+            for c in r..n {
+                let x = rng.gen_range(-1.0..1.0);
+                a[r * n + c] = x;
+                a[c * n + r] = x;
+            }
+        }
+        let e = sym_eig(&a, n);
+        // Each (λ, v) must satisfy A v = λ v and vectors must be orthonormal.
+        for k in 0..n {
+            let av = matvec(&a, n, &e.vectors[k]);
+            for r in 0..n {
+                assert!(
+                    (av[r] - e.values[k] * e.vectors[k][r]).abs() < 1e-8,
+                    "eigenpair residual too large"
+                );
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = (0..n).map(|r| e.vectors[i][r] * e.vectors[j][r]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for r in 0..n {
+            for c in r..n {
+                let x = rng.gen_range(-2.0..2.0);
+                a[r * n + c] = x;
+                a[c * n + r] = x;
+            }
+        }
+        let e = sym_eig(&a, n);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = [4.0, 1.0, 0.5, 1.0, 3.0, -1.0, 0.5, -1.0, 2.0];
+        let e = sym_eig(&a, 3);
+        let tr = 4.0 + 3.0 + 2.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_panics() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let _ = sym_eig(&a, 2);
+    }
+}

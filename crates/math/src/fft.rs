@@ -1,0 +1,138 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Used by the 1/f phase-noise spectral synthesiser in `itqc-faults`.
+//! Iterative Cooley–Tukey with bit-reversal permutation; power-of-two sizes
+//! only, which is all the noise generator needs.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// In-place forward FFT: `X[k] = Σ_j x[j]·e^{-2πi jk/N}`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (normalised by `1/N`), so `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+}
+
+fn transform(data: &mut [Complex64], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Convenience: forward FFT of a real signal, returning complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex64> {
+    let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::real(x)).collect();
+    fft(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!(z.approx_eq(Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let f = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * PI * f as f64 * j as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            if k == f {
+                assert!((z.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.norm() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_random() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let orig: Vec<Complex64> = (0..256)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x: Vec<Complex64> = (0..128)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = x.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(&mut x);
+    }
+}

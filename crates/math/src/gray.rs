@@ -1,0 +1,130 @@
+//! Binary reflected Gray codes.
+//!
+//! Two consumers: the paper's §V-A observation that the complementary-pair
+//! classes satisfy `[i,=] = (GrayCode(i), 0)` (footnote 7), and the
+//! commuting-XX simulator, which walks all `2^m` spin configurations in
+//! Gray-code order so that consecutive configurations differ in exactly one
+//! spin (enabling O(m) incremental phase updates).
+
+/// Returns the `k`-th binary reflected Gray code: `k ^ (k >> 1)`.
+///
+/// # Example
+///
+/// ```
+/// use itqc_math::gray;
+/// assert_eq!((0..8).map(gray).collect::<Vec<_>>(), [0, 1, 3, 2, 6, 7, 5, 4]);
+/// ```
+#[inline]
+pub fn gray(k: usize) -> usize {
+    k ^ (k >> 1)
+}
+
+/// Inverse of [`gray`]: recovers `k` from `gray(k)`.
+pub fn gray_inverse(mut g: usize) -> usize {
+    let mut k = g;
+    while g != 0 {
+        g >>= 1;
+        k ^= g;
+    }
+    k
+}
+
+/// Iterator over the sequence of bit positions that flip when walking the
+/// Gray code from index 0 through `2^m − 1`.
+///
+/// Yields `2^m − 1` flips; the flip between `gray(k-1)` and `gray(k)` is at
+/// bit `trailing_zeros(k)`.
+///
+/// # Example
+///
+/// ```
+/// use itqc_math::GrayFlips;
+/// let flips: Vec<u32> = GrayFlips::new(3).collect();
+/// assert_eq!(flips, [0, 1, 0, 2, 0, 1, 0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrayFlips {
+    next: usize,
+    end: usize,
+}
+
+impl GrayFlips {
+    /// Walks the full `m`-bit Gray code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is large enough that `2^m` overflows `usize`.
+    pub fn new(m: u32) -> Self {
+        assert!(m < usize::BITS, "Gray walk of 2^{m} states overflows usize");
+        GrayFlips { next: 1, end: 1usize << m }
+    }
+}
+
+impl Iterator for GrayFlips {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next >= self.end {
+            return None;
+        }
+        let bit = self.next.trailing_zeros();
+        self.next += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for GrayFlips {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_codes_differ_in_one_bit() {
+        for k in 1..1024usize {
+            let diff = gray(k) ^ gray(k - 1);
+            assert_eq!(diff.count_ones(), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn gray_inverse_round_trip() {
+        for k in 0..4096usize {
+            assert_eq!(gray_inverse(gray(k)), k);
+        }
+    }
+
+    #[test]
+    fn flips_reproduce_gray_sequence() {
+        let m = 10u32;
+        let mut state = 0usize;
+        let mut visited = vec![false; 1 << m];
+        visited[0] = true;
+        for bit in GrayFlips::new(m) {
+            state ^= 1 << bit;
+            assert!(!visited[state], "state revisited");
+            visited[state] = true;
+        }
+        assert!(visited.iter().all(|&v| v), "walk must cover all states");
+    }
+
+    #[test]
+    fn flips_match_gray_differences() {
+        let m = 8u32;
+        for (k, bit) in GrayFlips::new(m).enumerate() {
+            let expect = (gray(k + 1) ^ gray(k)).trailing_zeros();
+            assert_eq!(bit, expect);
+        }
+    }
+
+    #[test]
+    fn exact_size() {
+        let it = GrayFlips::new(6);
+        assert_eq!(it.len(), 63);
+    }
+}

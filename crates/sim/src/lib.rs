@@ -1,0 +1,24 @@
+//! Simulators for the `itqc` workspace.
+//!
+//! Two backends validated against each other:
+//!
+//! * [`StateVector`] — general dense simulation, exact amplitudes, memory
+//!   bound `2^n` (practical to ~22 qubits). Runs the paper's 8–11-qubit
+//!   hardware-comparison experiments (Figs. 3, 6, 7).
+//! * [`XxCircuit`] — exact analytic engine for commuting-XX circuits (all
+//!   of the paper's test circuits), evaluating output probabilities as
+//!   Gray-code Ising sums over only the *touched* qubits. This is what
+//!   reproduces the paper's 32-qubit scaling studies (Fig. 8, Fig. 9,
+//!   Table II) on a laptop.
+//!
+//! Plus shot-noise utilities ([`shots`]) and a stochastic-trajectory runner
+//! ([`trajectory`]) for the non-deterministic error classes.
+
+pub mod shots;
+pub mod statevector;
+pub mod trajectory;
+pub mod xx;
+
+pub use statevector::{run, StateVector};
+pub use trajectory::{NoiseModel, Noiseless};
+pub use xx::XxCircuit;

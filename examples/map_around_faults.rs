@@ -1,0 +1,144 @@
+//! Mapping circuits around diagnosed faulty couplings (§VIII).
+//!
+//! All-to-all connectivity means a diagnosed faulty coupling need not stop
+//! the machine: if the workload doesn't use every coupling (Fig. 11 —
+//! typical circuits use ~1/3 of them), a qubit relabeling can often route
+//! the computation around the bad pair. This example:
+//!
+//! 1. diagnoses a faulty coupling on an 8-qubit trap,
+//! 2. takes a QAOA workload that *does* use that coupling,
+//! 3. searches qubit permutations for one avoiding all faulty couplings,
+//! 4. shows the remapped circuit runs at full fidelity while the naive
+//!    mapping visibly degrades.
+//!
+//! Run with: `cargo run --release --example map_around_faults`
+
+use itqc::circuit::{library, transpile};
+use itqc::prelude::*;
+use std::collections::BTreeSet;
+
+/// Relabels the qubits of a circuit.
+fn permute(circuit: &Circuit, perm: &[usize]) -> Circuit {
+    let mut out = Circuit::new(circuit.n_qubits());
+    for op in circuit.ops() {
+        let qs = op.qubits();
+        match qs.len() {
+            1 => {
+                out.push(Op::one(op.gate, perm[qs[0]]));
+            }
+            _ => {
+                out.push(Op::two(op.gate, perm[qs[0]], perm[qs[1]]));
+            }
+        }
+    }
+    out
+}
+
+/// Searches (randomised greedy) for a permutation whose used couplings
+/// avoid `faulty`. Returns the permutation if found.
+fn find_mapping(circuit: &Circuit, faulty: &BTreeSet<Coupling>, tries: usize) -> Option<Vec<usize>> {
+    let n = circuit.n_qubits();
+    let used = circuit.used_couplings();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed as usize
+    };
+    for _ in 0..tries {
+        let ok = used
+            .iter()
+            .all(|c| !faulty.contains(&Coupling::new(perm[c.lo()], perm[c.hi()])));
+        if ok {
+            return Some(perm);
+        }
+        // Random transposition.
+        let i = next() % n;
+        let j = next() % n;
+        if i != j {
+            perm.swap(i, j);
+        }
+    }
+    None
+}
+
+fn main() {
+    let n = 8;
+    let mut trap = VirtualTrap::new(TrapConfig::ideal(n, 99));
+    trap.inject_fault(Coupling::new(1, 2), 0.35);
+
+    // Step 1: diagnose.
+    let protocol = SingleFaultProtocol::new(n, 4, 0.5, 300);
+    let report = protocol.diagnose(&mut trap);
+    let Diagnosis::Fault(bad) = report.diagnosis else {
+        panic!("expected a diagnosis, got {:?}", report.diagnosis);
+    };
+    println!("diagnosed faulty coupling: {bad} ({} tests)\n", report.tests_run());
+    let faulty: BTreeSet<Coupling> = [bad].into();
+
+    // Step 2: a workload that uses the faulty coupling.
+    let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)];
+    let qaoa = library::qaoa_maxcut(n, &edges, &[(0.5, 0.9)]);
+    let native = transpile::to_native_optimized(&qaoa);
+    println!(
+        "workload: QAOA ring, uses {} of {} couplings (incl. {bad}: {})",
+        native.used_couplings().len(),
+        n * (n - 1) / 2,
+        native.used_couplings().contains(&bad)
+    );
+
+    // Step 3: find a remapping that avoids it.
+    let perm = find_mapping(&native, &faulty, 10_000).expect("a ring has many embeddings");
+    println!("found qubit relabeling: {perm:?}");
+    let remapped = permute(&native, &perm);
+    assert!(remapped.used_couplings().iter().all(|c| !faulty.contains(c)));
+
+    // Step 4: compare output quality on the faulty machine.
+    let shots = 2000;
+    let ideal = itqc::sim::run(&native);
+    let count_naive = trap.run_circuit(&native, shots, Activity::Jobs);
+    let count_mapped = trap.run_circuit(&remapped, shots, Activity::Jobs);
+
+    // Score: total-variation-ish overlap between observed counts and the
+    // ideal distribution (remapped outcomes are un-permuted for scoring).
+    let inv: Vec<usize> = {
+        let mut v = vec![0; n];
+        for (i, &p) in perm.iter().enumerate() {
+            v[p] = i;
+        }
+        v
+    };
+    let unpermute = |basis: usize| -> usize {
+        let mut out = 0;
+        for (q, &iq) in inv.iter().enumerate() {
+            if (basis >> q) & 1 == 1 {
+                out |= 1 << iq;
+            }
+        }
+        out
+    };
+    let fidelity_of = |counts: &std::collections::BTreeMap<usize, usize>, mapped: bool| -> f64 {
+        let mut overlap = 0.0;
+        for (&basis, &cnt) in counts {
+            let logical = if mapped { unpermute(basis) } else { basis };
+            let p_model = ideal.probability(logical);
+            overlap += (cnt as f64 / shots as f64).min(p_model);
+        }
+        overlap
+    };
+    let f_naive = fidelity_of(&count_naive, false);
+    let f_mapped = fidelity_of(&count_mapped, true);
+    println!("\ndistribution overlap with ideal (higher is better):");
+    println!("  naive mapping (uses faulty {bad}):  {f_naive:.3}");
+    println!("  remapped around the fault:          {f_mapped:.3}");
+    assert!(
+        f_mapped > f_naive,
+        "mapping around the fault must improve output quality"
+    );
+    println!(
+        "\nthe faulty coupling stays quarantined until the next scheduled\n\
+         recalibration — the machine keeps serving jobs (paper §VIII)."
+    );
+}

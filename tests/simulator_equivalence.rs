@@ -1,0 +1,94 @@
+//! Cross-backend equivalence: the commuting-XX analytic engine must agree
+//! with the dense state-vector simulator wherever both apply.
+
+use itqc::prelude::*;
+use proptest::prelude::*;
+
+/// A random pure-XX circuit description: (n, gates).
+fn xx_circuit_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..=9).prop_flat_map(|n| {
+        let gate = (0..n, 0..n, -3.0f64..3.0)
+            .prop_filter("distinct", |(a, b, _)| a != b);
+        (Just(n), prop::collection::vec(gate, 1..14))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact-target fidelity agrees between backends on every basis target.
+    #[test]
+    fn fidelity_agreement((n, gates) in xx_circuit_strategy(), target_seed in any::<u64>()) {
+        let mut circuit = Circuit::new(n);
+        let mut xx = XxCircuit::new(n);
+        for &(a, b, theta) in &gates {
+            circuit.xx(a, b, theta);
+            xx.add_xx(a, b, theta);
+        }
+        let dense = run(&circuit);
+        let target = (target_seed as usize) & ((1 << n) - 1);
+        let f_xx = xx.fidelity(target);
+        let f_dense = dense.probability(target);
+        prop_assert!((f_xx - f_dense).abs() < 1e-9, "{f_xx} vs {f_dense}");
+    }
+
+    /// Per-qubit marginals agree between the closed form and the dense
+    /// backend.
+    #[test]
+    fn marginal_agreement((n, gates) in xx_circuit_strategy()) {
+        let mut circuit = Circuit::new(n);
+        let mut xx = XxCircuit::new(n);
+        for &(a, b, theta) in &gates {
+            circuit.xx(a, b, theta);
+            xx.add_xx(a, b, theta);
+        }
+        let dense = run(&circuit);
+        for q in 0..n {
+            prop_assert!((xx.marginal_one(q) - dense.marginal_one(q)).abs() < 1e-9);
+        }
+    }
+
+    /// The state norm is preserved by arbitrary random circuits (unitarity
+    /// of the dense backend under the whole gate set).
+    #[test]
+    fn dense_norm_preservation(seed in any::<u64>(), n in 2usize..=7) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let circuit = itqc::circuit::library::random_circuit(n, 4, &mut rng);
+        let s = run(&circuit);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Transpiled circuits are unitarily equivalent to their sources
+    /// (global phase aside), checked through state overlap.
+    #[test]
+    fn transpile_equivalence(seed in any::<u64>(), n in 2usize..=5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let circuit = itqc::circuit::library::random_circuit(n, 3, &mut rng);
+        let native = itqc::circuit::transpile::to_native_optimized(&circuit);
+        let s1 = run(&circuit);
+        let s2 = run(&native);
+        prop_assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn thirty_two_qubit_class_test_beyond_dense_reach() {
+    // The analytic engine handles a register the dense backend cannot even
+    // allocate: a full 16-qubit class on a 32-qubit machine.
+    let mut xx = XxCircuit::new(32);
+    let class: Vec<usize> = (0..32).filter(|q| q % 2 == 1).collect();
+    for (i, &a) in class.iter().enumerate() {
+        for &b in &class[i + 1..] {
+            xx.add_xx(a, b, std::f64::consts::PI * 0.98);
+        }
+    }
+    // Slightly under-rotated everywhere: fidelity must be in (0, 1).
+    let mut target = 0usize;
+    for &q in &class {
+        target |= 1 << q; // 2-MS per coupling, degree 15 (odd) → all flip
+    }
+    let f = xx.fidelity(target);
+    assert!(f > 0.0 && f < 1.0, "fidelity {f}");
+}
