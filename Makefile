@@ -1,0 +1,41 @@
+# Convenience targets for the itqc workspace. Everything builds fully
+# offline (dependencies are vendored under vendor/).
+
+CARGO ?= cargo
+
+# The 12 evaluation binaries, in paper order.
+REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations
+
+.PHONY: build test bench repro fmt lint clean
+
+## build: release build of every workspace member
+build:
+	$(CARGO) build --release
+
+## test: tier-1 gate — release build plus the full test suite
+test:
+	$(CARGO) build --release
+	$(CARGO) test -q
+
+## bench: run the criterion benches (vendored shim prints to stdout)
+bench:
+	$(CARGO) bench -p itqc-bench
+
+## repro: regenerate every paper table/figure (see EXPERIMENTS.md)
+repro: build
+	@set -e; for b in $(REPRO_BINS); do \
+		echo; echo "==================== $$b ===================="; \
+		$(CARGO) run --release -q -p itqc-bench --bin $$b; \
+	done
+
+## fmt: apply the workspace formatting style
+fmt:
+	$(CARGO) fmt
+
+## lint: what CI enforces — fmt --check and clippy with warnings denied
+lint:
+	$(CARGO) fmt --check
+	$(CARGO) clippy --all-targets -- -D warnings
+
+clean:
+	$(CARGO) clean

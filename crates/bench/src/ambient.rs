@@ -20,12 +20,8 @@ pub fn ambient_executor<R: Rng + ?Sized>(
 ) -> ExactExecutor {
     let space = LabelSpace::new(n_qubits);
     let sigma = mean_abs * (std::f64::consts::PI / 2.0).sqrt();
-    let mut exec = ExactExecutor::new(n_qubits).with_faults(
-        space
-            .all_couplings()
-            .into_iter()
-            .map(|c| (c, sigma * standard_normal(rng))),
-    );
+    let mut exec = ExactExecutor::new(n_qubits)
+        .with_faults(space.all_couplings().into_iter().map(|c| (c, sigma * standard_normal(rng))));
     exec = exec.with_faults(planted.iter().copied());
     exec
 }
@@ -41,12 +37,8 @@ pub fn ambient_executor_uniform<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ExactExecutor {
     let space = LabelSpace::new(n_qubits);
-    let mut exec = ExactExecutor::new(n_qubits).with_faults(
-        space
-            .all_couplings()
-            .into_iter()
-            .map(|c| (c, rng.gen_range(-bound..bound))),
-    );
+    let mut exec = ExactExecutor::new(n_qubits)
+        .with_faults(space.all_couplings().into_iter().map(|c| (c, rng.gen_range(-bound..bound))));
     exec = exec.with_faults(planted.iter().copied());
     exec
 }
@@ -58,6 +50,7 @@ pub fn ambient_executor_uniform<R: Rng + ?Sized>(
 /// *sampled* scores against this threshold (a threshold calibrated on
 /// exact scores sits inside the shot-noise band and healthy tests would
 /// false-fail).
+#[allow(clippy::too_many_arguments)]
 pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
     n_qubits: usize,
     reps: usize,
@@ -68,28 +61,74 @@ pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> f64 {
+    let mut scores = Vec::new();
+    for _ in 0..trials {
+        fault_free_trial_scores(n_qubits, reps, ambient_bound, score, shots, rng, &mut scores);
+    }
+    stats::quantile(&scores, quantile)
+}
+
+/// One calibration trial shared by the serial and parallel threshold
+/// calibrators: draws a fault-free ambient machine and appends the
+/// (optionally shot-sampled) score of every non-empty first-round
+/// class to `scores`.
+fn fault_free_trial_scores<R: Rng + ?Sized>(
+    n_qubits: usize,
+    reps: usize,
+    ambient_bound: f64,
+    score: ScoreMode,
+    shots: usize,
+    rng: &mut R,
+    scores: &mut Vec<f64>,
+) {
     let space = LabelSpace::new(n_qubits);
     let classes = first_round_classes(&space);
     let none = BTreeSet::new();
-    let mut scores = Vec::with_capacity(trials * classes.len());
-    for _ in 0..trials {
-        let exec = ambient_executor_uniform(n_qubits, ambient_bound, &[], rng);
-        for class in &classes {
-            let couplings = class.couplings(&space, &none);
-            if couplings.is_empty() {
-                continue;
-            }
-            let spec = TestSpec::for_couplings("amb", &couplings, reps).with_score(score);
-            let exact = exec.exact_score(&spec);
-            let observed = if shots == 0 {
-                exact
-            } else {
-                itqc_sim::shots::binomial(rng, shots, exact.clamp(0.0, 1.0)) as f64
-                    / shots as f64
-            };
-            scores.push(observed);
+    let exec = ambient_executor_uniform(n_qubits, ambient_bound, &[], rng);
+    for class in &classes {
+        let couplings = class.couplings(&space, &none);
+        if couplings.is_empty() {
+            continue;
         }
+        let spec = TestSpec::for_couplings("amb", &couplings, reps).with_score(score);
+        let exact = exec.exact_score(&spec);
+        let observed = if shots == 0 {
+            exact
+        } else {
+            itqc_sim::shots::binomial(rng, shots, exact.clamp(0.0, 1.0)) as f64 / shots as f64
+        };
+        scores.push(observed);
     }
+}
+
+/// Parallel version of [`calibrate_threshold_uniform`]: trials run on
+/// the [`crate::par_trials`] engine with one seeded RNG stream per
+/// trial derived from `master_seed`, so the returned threshold is
+/// identical at any thread count (it does **not** reproduce the serial
+/// function's value, which threads a single stream through all trials).
+#[allow(clippy::too_many_arguments)]
+pub fn calibrate_threshold_uniform_par(
+    threads: usize,
+    n_qubits: usize,
+    reps: usize,
+    ambient_bound: f64,
+    score: ScoreMode,
+    shots: usize,
+    quantile: f64,
+    trials: usize,
+    master_seed: u64,
+) -> f64 {
+    let per_trial = crate::par_trials::par_trials(
+        threads,
+        trials,
+        |t| crate::par_trials::split_seed(master_seed, t),
+        |_, rng| {
+            let mut scores = Vec::new();
+            fault_free_trial_scores(n_qubits, reps, ambient_bound, score, shots, rng, &mut scores);
+            scores
+        },
+    );
+    let scores: Vec<f64> = per_trial.into_iter().flatten().collect();
     stats::quantile(&scores, quantile)
 }
 
@@ -119,6 +158,34 @@ mod tests {
         let f = exec.exact_fidelity(&spec);
         let expect = (std::f64::consts::PI * 0.4).cos().powi(2);
         assert!((f - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_threshold_invariant_under_thread_count() {
+        let t1 = calibrate_threshold_uniform_par(
+            1,
+            8,
+            2,
+            0.10,
+            ScoreMode::ExactTarget,
+            300,
+            0.01,
+            6,
+            77,
+        );
+        let t8 = calibrate_threshold_uniform_par(
+            8,
+            8,
+            2,
+            0.10,
+            ScoreMode::ExactTarget,
+            300,
+            0.01,
+            6,
+            77,
+        );
+        assert_eq!(t1, t8);
+        assert!((0.0..=1.0).contains(&t1), "threshold {t1}");
     }
 
     #[test]

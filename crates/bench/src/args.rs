@@ -1,12 +1,15 @@
 //! Minimal CLI-argument parsing for the harness binaries.
 
-/// Common harness options: `--trials=N  --seed=S  --csv  --fast`.
+/// Common harness options: `--trials=N  --seed=S  --threads=N  --csv  --fast`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
     pub trials: usize,
     /// Master RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel trial engine; `0` = all
+    /// available cores. Results are identical at any thread count.
+    pub threads: usize,
     /// Emit CSV after the human-readable tables.
     pub csv: bool,
     /// Shrink workloads for smoke testing.
@@ -19,7 +22,8 @@ impl Args {
     /// Unknown arguments are ignored (forward compatibility); malformed
     /// values fall back to the defaults.
     pub fn parse(default_trials: usize) -> Self {
-        let mut out = Args { trials: default_trials, seed: 20220402, csv: false, fast: false };
+        let mut out =
+            Args { trials: default_trials, seed: 20220402, threads: 0, csv: false, fast: false };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--trials=") {
                 if let Ok(n) = v.parse() {
@@ -28,6 +32,10 @@ impl Args {
             } else if let Some(v) = arg.strip_prefix("--seed=") {
                 if let Ok(s) = v.parse() {
                     out.seed = s;
+                }
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                if let Ok(t) = v.parse() {
+                    out.threads = t;
                 }
             } else if arg == "--csv" {
                 out.csv = true;
@@ -38,7 +46,16 @@ impl Args {
         if out.fast {
             out.trials = out.trials.div_ceil(10).max(2);
         }
+        // Zero trials would make every Monte-Carlo mean 0/0 (NaN
+        // tables); one trial is the smallest meaningful budget.
+        out.trials = out.trials.max(1);
         out
+    }
+
+    /// The worker thread count with `0` resolved to the machine's
+    /// available parallelism.
+    pub fn threads(&self) -> usize {
+        crate::par_trials::resolve_threads(self.threads)
     }
 
     /// A deterministic per-configuration seed derived from the master
@@ -60,8 +77,16 @@ mod tests {
 
     #[test]
     fn per_config_seeds_differ() {
-        let a = Args { trials: 10, seed: 1, csv: false, fast: false };
+        let a = Args { trials: 10, seed: 1, threads: 0, csv: false, fast: false };
         assert_ne!(a.seed_for("fig8/n=8"), a.seed_for("fig8/n=16"));
         assert_eq!(a.seed_for("x"), a.seed_for("x"));
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_at_least_one() {
+        let a = Args { trials: 1, seed: 1, threads: 0, csv: false, fast: false };
+        assert!(a.threads() >= 1);
+        let b = Args { threads: 8, ..a };
+        assert_eq!(b.threads(), 8);
     }
 }

@@ -10,7 +10,9 @@
 //! 4. **Canary shot budget** — detection latency vs cost of the per-minute
 //!    tripwire.
 
-use itqc_bench::ambient::{ambient_executor_uniform, calibrate_threshold_uniform, random_couplings};
+use itqc_bench::ambient::{
+    ambient_executor_uniform, calibrate_threshold_uniform, random_couplings,
+};
 use itqc_bench::output::{f3, pct, section, Table};
 use itqc_bench::{Args, ShotSampled};
 use itqc_core::testplan::ScoreMode;
@@ -46,8 +48,8 @@ fn main() {
             for class in itqc_core::first_round_classes(&space) {
                 let couplings = class.couplings(&space, &none);
                 let s_exact = TestSpec::for_couplings("a", &couplings, 2);
-                let s_pop = TestSpec::for_couplings("a", &couplings, 2)
-                    .with_score(ScoreMode::WorstQubit);
+                let s_pop =
+                    TestSpec::for_couplings("a", &couplings, 2).with_score(ScoreMode::WorstQubit);
                 exact_scores.push(exec.exact_score(&s_exact));
                 pop_scores.push(exec.exact_score(&s_pop));
             }
@@ -89,19 +91,18 @@ fn main() {
     // ------------------------------------------------------------------
     section("ablation 2+3: threshold retuning and set-cover fallback (N=8, 2 faults)");
     let mut t2 = Table::new(["workload", "plain", "+retuning", "+retuning+cover"]);
-    for (name, u1, u2) in [
-        ("spread faults (0.40, 0.20)", 0.40, 0.20),
-        ("equal faults (0.30, 0.30)", 0.30, 0.30),
-    ] {
+    for (name, u1, u2) in
+        [("spread faults (0.40, 0.20)", 0.40, 0.20), ("equal faults (0.30, 0.30)", 0.30, 0.30)]
+    {
         let mut cells = vec![name.to_string()];
         for (retunes, cover) in [(0usize, false), (4, false), (4, true)] {
-            let mut rng = SmallRng::seed_from_u64(args.seed_for(&format!("ab2/{name}/{retunes}/{cover}")));
+            let mut rng =
+                SmallRng::seed_from_u64(args.seed_for(&format!("ab2/{name}/{retunes}/{cover}")));
             let mut ok = 0;
             for _ in 0..args.trials {
                 let faults = random_couplings(8, 2, &mut rng);
-                let mut exec = ExactExecutor::new(8)
-                    .with_fault(faults[0], u1)
-                    .with_fault(faults[1], u2);
+                let mut exec =
+                    ExactExecutor::new(8).with_fault(faults[0], u1).with_fault(faults[1], u2);
                 let config = MultiFaultConfig {
                     // 8-MS amplification is needed for the 20% fault;
                     // magnitude separation catches the 40% one at 4-MS
@@ -150,18 +151,13 @@ fn main() {
             let exec = ambient_executor_uniform(8, 0.03, &[(target, 0.25)], &mut rng);
             let mut shot = ShotSampled::new(exec, rng.gen());
             use itqc_core::TestExecutor;
-            let spec = TestSpec::for_couplings("canary", &all, 4)
-                .with_score(ScoreMode::WorstQubit);
+            let spec = TestSpec::for_couplings("canary", &all, 4).with_score(ScoreMode::WorstQubit);
             if shot.run_test(&spec, shots) < 0.6 {
                 trips += 1;
             }
         }
         let cost = timing.shots(11, all.len() * 4, 0, shots);
-        t4.row([
-            shots.to_string(),
-            pct(trips as f64 / args.trials as f64),
-            format!("{cost:.2}"),
-        ]);
+        t4.row([shots.to_string(), pct(trips as f64 / args.trials as f64), format!("{cost:.2}")]);
     }
     println!("{}", t4.render());
     println!(

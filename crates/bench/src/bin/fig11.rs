@@ -43,14 +43,8 @@ fn main() {
             &format!("qaoa3r-{n}"),
             &library::qaoa_maxcut(n, &edges, &[(0.4, 0.8), (0.7, 0.3)]),
         ));
-        rows.push(census(
-            &format!("vqe-{n}"),
-            &library::vqe_ansatz(n, 2, &[0.3, 0.5, 0.7]),
-        ));
-        rows.push(census(
-            &format!("ising-{n}"),
-            &library::trotter_ising(n, 3, 1.0, 0.7, 0.1),
-        ));
+        rows.push(census(&format!("vqe-{n}"), &library::vqe_ansatz(n, 2, &[0.3, 0.5, 0.7])));
+        rows.push(census(&format!("ising-{n}"), &library::trotter_ising(n, 3, 1.0, 0.7, 0.1)));
         if n >= 6 && n % 2 == 0 {
             let bits = (n - 2) / 2;
             if bits >= 1 {
@@ -58,22 +52,13 @@ fn main() {
             }
         }
         if n <= 10 {
-            rows.push(census(
-                &format!("grover-{n}"),
-                &library::grover(n.min(6), 1, 2),
-            ));
+            rows.push(census(&format!("grover-{n}"), &library::grover(n.min(6), 1, 2)));
         }
         rows.push(census(&format!("wstate-{n}"), &library::w_state(n)));
         if n <= 12 {
-            rows.push(census(
-                &format!("qpe-{}b", n - 1),
-                &library::phase_estimation(n - 1, 0.3),
-            ));
+            rows.push(census(&format!("qpe-{}b", n - 1), &library::phase_estimation(n - 1, 0.3)));
         }
-        rows.push(census(
-            &format!("random-{n}"),
-            &library::random_circuit(n, 4, &mut rng),
-        ));
+        rows.push(census(&format!("random-{n}"), &library::random_circuit(n, 4, &mut rng)));
     }
 
     let mut t = Table::new(["circuit", "qubits", "used", "of total", "fraction"]);
@@ -98,8 +83,7 @@ fn main() {
     let mut weighted_frac = 0.0;
     let mut count = 0usize;
     for (n, items) in &by_n {
-        let avg_used: f64 =
-            items.iter().map(|(u, _)| *u as f64).sum::<f64>() / items.len() as f64;
+        let avg_used: f64 = items.iter().map(|(u, _)| *u as f64).sum::<f64>() / items.len() as f64;
         let avg_frac: f64 = items.iter().map(|(_, f)| *f).sum::<f64>() / items.len() as f64;
         weighted_frac += items.iter().map(|(_, f)| *f).sum::<f64>();
         count += items.len();

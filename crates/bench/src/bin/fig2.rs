@@ -12,7 +12,7 @@
 //!   diagnosed couplings are recalibrated.
 
 use itqc_bench::output::{pct, section, Table};
-use itqc_bench::Args;
+use itqc_bench::{par_map, Args};
 use itqc_core::cost::CostModel;
 use itqc_core::{diagnose_all, MultiFaultConfig};
 use itqc_faults::drift::JumpDrift;
@@ -101,24 +101,44 @@ fn test_driven_policy(seed: u64) -> VirtualTrap {
     trap
 }
 
-fn main() {
-    let args = Args::parse(1);
-    section("Fig. 2: duty cycle of an 11-qubit ion-trap QC over 24 h");
+/// Mean seconds per activity (in `Activity::ALL` order) over `trials`
+/// independent simulated days, run on the parallel trial engine. Each
+/// trial owns its seed, so the result is identical at any `--threads`
+/// count.
+fn mean_duty(
+    args: &Args,
+    tag: &str,
+    run: impl Fn(u64) -> VirtualTrap + Sync,
+) -> [f64; Activity::ALL.len()] {
+    let traps =
+        par_map(args.threads, args.trials, |t| run(args.seed_for(&format!("{tag}/trial{t}"))));
+    let mut mean = [0.0f64; Activity::ALL.len()];
+    for trap in &traps {
+        let d = trap.duty();
+        for (acc, &a) in mean.iter_mut().zip(Activity::ALL.iter()) {
+            *acc += d.seconds(a) / traps.len() as f64;
+        }
+    }
+    mean
+}
 
-    let periodic = periodic_policy(args.seed_for("fig2/periodic"), 5.0);
-    let driven = test_driven_policy(args.seed_for("fig2/driven"));
+fn main() {
+    let args = Args::parse(8);
+    section("Fig. 2: duty cycle of an 11-qubit ion-trap QC over 24 h");
+    // The thread count goes to stderr so stdout is byte-identical at
+    // any `--threads` value.
+    println!("(mean over {} simulated machine-days per policy)\n", args.trials);
+    eprintln!("[fig2] running on {} thread(s)", args.threads());
+
+    let periodic = mean_duty(&args, "fig2/periodic", |seed| periodic_policy(seed, 5.0));
+    let driven = mean_duty(&args, "fig2/driven", test_driven_policy);
 
     let mut t = Table::new(["policy", "jobs", "testing", "calibration", "adaptation", "idle"]);
-    for (name, trap) in [("periodic full recal", &periodic), ("test-driven (ours)", &driven)] {
-        let d = trap.duty();
-        t.row([
-            name.to_string(),
-            pct(d.fraction(Activity::Jobs)),
-            pct(d.fraction(Activity::Testing)),
-            pct(d.fraction(Activity::Calibration)),
-            pct(d.fraction(Activity::Adaptation)),
-            pct(d.fraction(Activity::Idle)),
-        ]);
+    for (name, secs) in [("periodic full recal", &periodic), ("test-driven (ours)", &driven)] {
+        let total: f64 = secs.iter().sum();
+        let mut cells = vec![name.to_string()];
+        cells.extend(secs.iter().map(|&s| pct(s / total)));
+        t.row(cells);
     }
     println!("{}", t.render());
     println!(
@@ -127,23 +147,17 @@ fn main() {
          shrinks the maintenance share by testing first and recalibrating\n\
          only diagnosed couplings."
     );
-    let p = &periodic;
-    let nonidle = p.duty().total() - p.duty().seconds(Activity::Idle);
-    if nonidle > 0.0 {
-        println!(
-            "periodic policy, excluding idle: jobs {} / maintenance {}",
-            pct(p.duty().seconds(Activity::Jobs) / nonidle),
-            pct(1.0 - p.duty().seconds(Activity::Jobs) / nonidle),
-        );
-    }
-    let q = &driven;
-    let nonidle_q = q.duty().total() - q.duty().seconds(Activity::Idle);
-    if nonidle_q > 0.0 {
-        println!(
-            "test-driven policy, excluding idle: jobs {} / maintenance {}",
-            pct(q.duty().seconds(Activity::Jobs) / nonidle_q),
-            pct(1.0 - q.duty().seconds(Activity::Jobs) / nonidle_q),
-        );
+    let pos = |a: Activity| Activity::ALL.iter().position(|&x| x == a).unwrap();
+    for (name, secs) in [("periodic", &periodic), ("test-driven", &driven)] {
+        let jobs = secs[pos(Activity::Jobs)];
+        let nonidle: f64 = secs.iter().sum::<f64>() - secs[pos(Activity::Idle)];
+        if nonidle > 0.0 {
+            println!(
+                "{name} policy, excluding idle: jobs {} / maintenance {}",
+                pct(jobs / nonidle),
+                pct(1.0 - jobs / nonidle),
+            );
+        }
     }
     if args.csv {
         println!("\n{}", t.to_csv());

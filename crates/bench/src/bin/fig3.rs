@@ -11,17 +11,16 @@
 //! paper's Eq. (1).
 
 use itqc_bench::output::{f3, section, Table};
-use itqc_bench::Args;
+use itqc_bench::{par_trials, Args};
 use itqc_circuit::Circuit;
+use itqc_circuit::Coupling;
 use itqc_faults::models::CouplingFault;
 use itqc_faults::phase_noise::OneOverF;
 use itqc_faults::IonTrapNoise;
-use itqc_circuit::Coupling;
 use itqc_sim::trajectory::run_trajectory;
 use itqc_sim::{run, StateVector};
 use itqc_trap::chain::{eq1_fidelity_for_pair, IonChain, PulseSegment};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// Builds the K-gate sequence on a 2-qubit register; `echoed` shifts one
@@ -88,33 +87,33 @@ fn main() {
     let calib = [0.012, 0.020];
     let phase_rms = 0.05;
 
-    let mut table = Table::new([
-        "gates",
-        "{3,8} no-echo",
-        "{3,8} echo",
-        "{0,10} no-echo",
-        "{0,10} echo",
-    ]);
-    let mut rng = SmallRng::seed_from_u64(args.seed_for("fig3"));
+    let mut table =
+        Table::new(["gates", "{3,8} no-echo", "{3,8} echo", "{0,10} no-echo", "{0,10} echo"]);
     let ks: Vec<usize> = (1..=10).map(|x| 2 * x).collect();
-    for &k in &ks {
-        let mut cells = vec![k.to_string()];
-        for p in 0..2 {
-            for echoed in [false, true] {
-                let inf = infidelity(
-                    k,
-                    echoed,
-                    calib[p],
-                    phase_rms,
-                    residuals[p],
-                    args.trials,
-                    &mut rng,
-                );
-                cells.push(f3(inf));
-            }
-        }
-        // Reorder: pair0 no-echo, pair0 echo, pair1 no-echo, pair1 echo.
-        table.row(cells);
+    // One work item per (gate count, pair, echo) cell, each with its own
+    // seed, dispatched over the parallel trial engine — the table is
+    // identical at any `--threads` count.
+    let cells: Vec<(usize, usize, bool)> = ks
+        .iter()
+        .flat_map(|&k| (0..2).flat_map(move |p| [false, true].map(|e| (k, p, e))))
+        .collect();
+    let infidelities = par_trials(
+        args.threads,
+        cells.len(),
+        |i| {
+            let (k, p, echoed) = cells[i];
+            args.seed_for(&format!("fig3/k={k}/pair={p}/echo={echoed}"))
+        },
+        |i, rng| {
+            let (k, p, echoed) = cells[i];
+            infidelity(k, echoed, calib[p], phase_rms, residuals[p], args.trials, rng)
+        },
+    );
+    for (ki, &k) in ks.iter().enumerate() {
+        let mut row = vec![k.to_string()];
+        // Cell order per k: pair0 no-echo, pair0 echo, pair1 no-echo, pair1 echo.
+        row.extend(infidelities[ki * 4..ki * 4 + 4].iter().map(|&inf| f3(inf)));
+        table.row(row);
     }
     println!("\n{}", table.render());
     println!(

@@ -19,13 +19,15 @@
 //! scale — per-qubit populations are what a scalable single-output test
 //! thresholds, and what keeps this figure's contrast alive at 32 qubits.
 
-use itqc_bench::ambient::{ambient_executor_uniform, calibrate_threshold_uniform, random_couplings};
+use itqc_bench::ambient::{
+    ambient_executor_uniform, calibrate_threshold_uniform_par, random_couplings,
+};
 use itqc_bench::output::{f3, pct, section, Table};
 use itqc_bench::{Args, ShotSampled};
 use itqc_core::testplan::ScoreMode;
 use itqc_core::{first_round_classes, Diagnosis, LabelSpace, SingleFaultProtocol, TestSpec};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::BTreeSet;
 
 const AMBIENT: f64 = 0.10;
@@ -38,16 +40,14 @@ fn main() {
 
     let sweep: Vec<f64> = (0..=10).map(|k| 0.05 * k as f64).collect();
     let mut summary = Table::new(["qubits", "test", "threshold", "min u @ 95% ident", "paper"]);
-    let paper_min = [
-        [(8, 0.25), (16, 0.30), (32, 0.35)],
-        [(8, 0.20), (16, 0.25), (32, 0.30)],
-    ];
+    let paper_min = [[(8, 0.25), (16, 0.30), (32, 0.35)], [(8, 0.20), (16, 0.25), (32, 0.30)]];
 
     for (ri, reps) in [2usize, 4].into_iter().enumerate() {
         for (ni, n) in [8usize, 16, 32].into_iter().enumerate() {
             let tag = format!("fig8/n={n}/r={reps}");
             let mut rng = SmallRng::seed_from_u64(args.seed_for(&tag));
-            let threshold = calibrate_threshold_uniform(
+            let threshold = calibrate_threshold_uniform_par(
+                args.threads,
                 n,
                 reps,
                 AMBIENT,
@@ -55,31 +55,26 @@ fn main() {
                 SHOTS,
                 0.005,
                 60.max(args.trials / 2),
-                &mut rng,
+                args.seed_for(&format!("{tag}/threshold")),
             );
             section(&format!("{n} qubits, {reps}-MS tests (threshold {})", f3(threshold)));
 
             let space = LabelSpace::new(n);
             let classes = first_round_classes(&space);
             let none = BTreeSet::new();
-            let mut table = Table::new([
-                "under-rot",
-                "faulty-test score",
-                "healthy-test score",
-                "P(identify)",
-            ]);
+            let mut table =
+                Table::new(["under-rot", "faulty-test score", "healthy-test score", "P(identify)"]);
             let mut min_u95: Option<f64> = None;
             for &u in &sweep {
                 let mut faulty_s = Vec::new();
                 let mut healthy_s = Vec::new();
                 let mut identified = 0usize;
-                for _ in 0..args.trials {
+                for trial in 0..args.trials {
                     let target = random_couplings(n, 1, &mut rng)[0];
                     let exec = ambient_executor_uniform(n, AMBIENT, &[(target, u)], &mut rng);
                     for class in &classes {
                         let couplings = class.couplings(&space, &none);
-                        let spec =
-                            TestSpec::for_couplings("t", &couplings, reps).with_score(SCORE);
+                        let spec = TestSpec::for_couplings("t", &couplings, reps).with_score(SCORE);
                         let s = exec.exact_score(&spec);
                         if couplings.contains(&target) {
                             faulty_s.push(s);
@@ -87,7 +82,11 @@ fn main() {
                             healthy_s.push(s);
                         }
                     }
-                    let mut shot_exec = ShotSampled::new(exec, rng.gen());
+                    let mut shot_exec = ShotSampled::for_trial(
+                        exec,
+                        args.seed_for(&format!("{tag}/u{u:.2}")),
+                        trial,
+                    );
                     let protocol =
                         SingleFaultProtocol::new(n, reps, threshold, SHOTS).with_score(SCORE);
                     let report = protocol.diagnose(&mut shot_exec);

@@ -52,8 +52,7 @@ fn trial<R: Rng + ?Sized>(
     }
     let truth: std::collections::BTreeSet<_> = chosen.iter().map(|&i| all[i]).collect();
 
-    let exec = ExactExecutor::new(n)
-        .with_faults(all.iter().copied().zip(draws.iter().copied()));
+    let exec = ExactExecutor::new(n).with_faults(all.iter().copied().zip(draws.iter().copied()));
     let mut shot_exec = ShotSampled::new(exec, rng.gen());
     let config = MultiFaultConfig {
         reps_ladder: vec![base_reps, base_reps * 2, base_reps * 4],
@@ -90,8 +89,8 @@ fn main() {
         xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
         cols.push(xs);
     }
-    for r in 0..28 {
-        g.row([(r + 1).to_string(), pct(cols[0][r]), pct(cols[1][r])]);
+    for (r, (lo, hi)) in cols[0].iter().zip(&cols[1]).enumerate() {
+        g.row([(r + 1).to_string(), pct(*lo), pct(*hi)]);
     }
     println!("{}", g.render());
     println!("(uniform body below the 6% calibration line + Gaussian tail outliers)\n");
@@ -103,13 +102,18 @@ fn main() {
             let mut rng = SmallRng::seed_from_u64(args.seed_for(&tag));
             // Thresholds calibrated on the composite law's ambient body
             // (uniform ±6% within the band).
-            let threshold = itqc_bench::ambient::calibrate_threshold_uniform(
-                n, reps, 0.06, SCORE, SHOTS, 0.005, 60, &mut rng,
+            let threshold = itqc_bench::ambient::calibrate_threshold_uniform_par(
+                args.threads,
+                n,
+                reps,
+                0.06,
+                SCORE,
+                SHOTS,
+                0.005,
+                60,
+                args.seed_for(&format!("{tag}/threshold")),
             );
-            section(&format!(
-                "{n} qubits, {reps}-MS ladder (threshold {})",
-                f3(threshold)
-            ));
+            section(&format!("{n} qubits, {reps}-MS ladder (threshold {})", f3(threshold)));
             let mut table = Table::new(["sigma", "k=1", "k=2", "k=3"]);
             for &sigma in &sigmas {
                 let mut cells = vec![format!("{sigma:.2}")];

@@ -5,9 +5,14 @@
 //! the paper's protocols target.
 
 use itqc_bench::output::section;
+use itqc_bench::Args;
 use itqc_faults::taxonomy::{table_one, Determinism, FaultKind, Unitarity};
 
 fn main() {
+    // Table I is a static taxonomy (no Monte-Carlo loop); parsing the
+    // shared Args keeps its CLI (`--threads`, `--seed`, …) uniform with
+    // the other binaries.
+    let _args = Args::parse(1);
     section("Table I: types of quantum faults (determinism x unitarity)");
     for cell in table_one() {
         let det = match cell.determinism {

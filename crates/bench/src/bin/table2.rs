@@ -24,16 +24,13 @@
 
 use itqc_bench::ambient::random_couplings;
 use itqc_bench::output::{pct, section, Table};
-use itqc_bench::Args;
+use itqc_bench::{par_trials, split_seed, Args};
 use itqc_core::testplan::ScoreMode;
 use itqc_core::{diagnose_all, ExactExecutor, MultiFaultConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 const FAULT_U: f64 = 0.30;
 
-fn run_trials(n: usize, k: usize, trials: usize, fallback: bool, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
+fn run_trials(n: usize, k: usize, trials: usize, threads: usize, fallback: bool, seed: u64) -> f64 {
     let config = MultiFaultConfig {
         reps_ladder: vec![2, 4],
         threshold: 0.5,
@@ -47,19 +44,22 @@ fn run_trials(n: usize, k: usize, trials: usize, fallback: bool, seed: u64) -> f
         max_threshold_retunes: 4,
         fault_magnitude: 0.10,
     };
-    let mut ok = 0usize;
-    for _ in 0..trials {
-        let faults = random_couplings(n, k, &mut rng);
-        let mut exec =
-            ExactExecutor::new(n).with_faults(faults.iter().map(|&c| (c, FAULT_U)));
-        let report = diagnose_all(&mut exec, n, &config);
-        let mut truth = faults.clone();
-        truth.sort();
-        if report.couplings() == truth {
-            ok += 1;
-        }
-    }
-    ok as f64 / trials as f64
+    // Each trial plants and diagnoses its own fault set from a private
+    // seeded stream, so the success count is `--threads`-invariant.
+    let outcomes = par_trials(
+        threads,
+        trials,
+        |t| split_seed(seed, t),
+        |_, rng| {
+            let faults = random_couplings(n, k, rng);
+            let mut exec = ExactExecutor::new(n).with_faults(faults.iter().map(|&c| (c, FAULT_U)));
+            let report = diagnose_all(&mut exec, n, &config);
+            let mut truth = faults.clone();
+            truth.sort();
+            report.couplings() == truth
+        },
+    );
+    outcomes.iter().filter(|&&ok| ok).count() as f64 / trials as f64
 }
 
 fn main() {
@@ -68,20 +68,20 @@ fn main() {
 
     let paper: [[f64; 3]; 3] = [[1.00, 0.47, 0.22], [1.00, 0.23, 0.05], [1.00, 0.12, 0.01]];
 
-    let mut t = Table::new([
-        "qubits",
-        "1 fault",
-        "(paper)",
-        "2 faults",
-        "(paper)",
-        "3 faults",
-        "(paper)",
-    ]);
+    let mut t =
+        Table::new(["qubits", "1 fault", "(paper)", "2 faults", "(paper)", "3 faults", "(paper)"]);
     for (ni, n) in [8usize, 16, 32].into_iter().enumerate() {
         let mut cells = vec![n.to_string()];
         for k in 1..=3usize {
             let trials = if n == 32 && k == 3 { args.trials / 2 } else { args.trials };
-            let p = run_trials(n, k, trials.max(2), false, args.seed_for(&format!("t2/{n}/{k}")));
+            let p = run_trials(
+                n,
+                k,
+                trials.max(2),
+                args.threads,
+                false,
+                args.seed_for(&format!("t2/{n}/{k}")),
+            );
             cells.push(pct(p));
             cells.push(format!("({})", pct(paper[ni][k - 1])));
         }
@@ -95,7 +95,14 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for k in 1..=3usize {
             let trials = (if n == 32 { args.trials / 2 } else { args.trials }).max(2);
-            let p = run_trials(n, k, trials, true, args.seed_for(&format!("t2fb/{n}/{k}")));
+            let p = run_trials(
+                n,
+                k,
+                trials,
+                args.threads,
+                true,
+                args.seed_for(&format!("t2fb/{n}/{k}")),
+            );
             cells.push(pct(p));
         }
         t2.row(cells);

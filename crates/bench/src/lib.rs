@@ -14,16 +14,22 @@
 //! done
 //! ```
 //!
-//! Every binary accepts `--trials=N` (Monte-Carlo budget) and `--seed=S`;
+//! Every binary accepts `--trials=N` (Monte-Carlo budget), `--seed=S`
+//! and `--threads=N` (parallel trial workers; `0` = all cores, and the
+//! output is bit-identical at any thread count — see [`par_trials`]);
 //! defaults are sized to finish in tens of seconds to a few minutes in
 //! release mode. `EXPERIMENTS.md` records paper-vs-measured values.
+
+#![warn(missing_docs)]
 
 pub mod ambient;
 pub mod args;
 pub mod output;
+pub mod par_trials;
 pub mod shot_exec;
 
 pub use ambient::ambient_executor;
 pub use args::Args;
 pub use output::Table;
+pub use par_trials::{par_map, par_trials, split_seed};
 pub use shot_exec::ShotSampled;

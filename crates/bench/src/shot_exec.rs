@@ -20,6 +20,13 @@ impl<E: TestExecutor> ShotSampled<E> {
         ShotSampled { inner, rng: SmallRng::seed_from_u64(seed) }
     }
 
+    /// Wraps `inner` with a shot-noise stream derived from a master
+    /// seed and a trial index, so that trial `i` sees the same stream
+    /// whether the trials run serially or across threads.
+    pub fn for_trial(inner: E, master_seed: u64, trial: usize) -> Self {
+        Self::new(inner, crate::par_trials::split_seed(master_seed, trial))
+    }
+
     /// The wrapped executor.
     pub fn inner(&self) -> &E {
         &self.inner
@@ -49,6 +56,16 @@ mod tests {
     use super::*;
     use itqc_circuit::Coupling;
     use itqc_core::ExactExecutor;
+
+    #[test]
+    fn for_trial_is_deterministic_and_decorrelated() {
+        let exact = ExactExecutor::new(4);
+        let a = ShotSampled::for_trial(exact.clone(), 99, 0);
+        let b = ShotSampled::for_trial(exact.clone(), 99, 0);
+        let c = ShotSampled::for_trial(exact, 99, 1);
+        assert_eq!(a.rng, b.rng, "same (seed, trial) must give the same stream");
+        assert_ne!(a.rng, c.rng, "different trials must give different streams");
+    }
 
     #[test]
     fn shot_noise_stays_near_truth() {

@@ -306,10 +306,7 @@ impl Circuit {
 
     /// The inverse circuit (ops reversed, each inverted).
     pub fn inverse(&self) -> Circuit {
-        Circuit {
-            n_qubits: self.n_qubits,
-            ops: self.ops.iter().rev().map(Op::dagger).collect(),
-        }
+        Circuit { n_qubits: self.n_qubits, ops: self.ops.iter().rev().map(Op::dagger).collect() }
     }
 
     /// Number of two-qubit gates.
@@ -388,7 +385,9 @@ impl fmt::Display for Circuit {
         for op in &self.ops {
             match op.gate.arity() {
                 1 => writeln!(f, "  {:<5} q{}", op.gate.name(), op.qubits()[0])?,
-                _ => writeln!(f, "  {:<5} q{} q{}", op.gate.name(), op.qubits()[0], op.qubits()[1])?,
+                _ => {
+                    writeln!(f, "  {:<5} q{} q{}", op.gate.name(), op.qubits()[0], op.qubits()[1])?
+                }
             }
         }
         Ok(())
@@ -446,12 +445,7 @@ mod tests {
         c.h(0).cnot(0, 1);
         let u = c.unitary();
         // |00⟩ → (|00⟩+|11⟩)/√2
-        let v = u.mul_vec(&[
-            Complex64::ONE,
-            Complex64::ZERO,
-            Complex64::ZERO,
-            Complex64::ZERO,
-        ]);
+        let v = u.mul_vec(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
         let s = std::f64::consts::FRAC_1_SQRT_2;
         assert!(v[0].approx_eq(Complex64::real(s), 1e-12));
         assert!(v[3].approx_eq(Complex64::real(s), 1e-12));

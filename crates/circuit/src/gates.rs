@@ -91,7 +91,12 @@ impl Gate {
             | Gate::Rz(_)
             | Gate::R { .. }
             | Gate::Phase(_) => 1,
-            Gate::Cnot | Gate::Cz | Gate::Swap | Gate::Xx(_) | Gate::Ms { .. } | Gate::CPhase(_) => 2,
+            Gate::Cnot
+            | Gate::Cz
+            | Gate::Swap
+            | Gate::Xx(_)
+            | Gate::Ms { .. }
+            | Gate::CPhase(_) => 2,
         }
     }
 
@@ -123,10 +128,7 @@ impl Gate {
     /// `true` for gates in the ion-trap native set: `R(θ,φ)`, virtual
     /// `Rz`, and the Mølmer–Sørensen family.
     pub fn is_native(&self) -> bool {
-        matches!(
-            self,
-            Gate::R { .. } | Gate::Rz(_) | Gate::Xx(_) | Gate::Ms { .. }
-        )
+        matches!(self, Gate::R { .. } | Gate::Rz(_) | Gate::Xx(_) | Gate::Ms { .. })
     }
 
     /// `true` for two-qubit entangling gates (arity 2, excluding SWAP which
@@ -173,10 +175,7 @@ impl Gate {
             Gate::R { theta, phi } => r_mat(theta, phi),
             Gate::Rz(t) => {
                 let h = t / 2.0;
-                Mat2::new([
-                    [Complex64::cis(-h), c(0., 0.)],
-                    [c(0., 0.), Complex64::cis(h)],
-                ])
+                Mat2::new([[Complex64::cis(-h), c(0., 0.)], [c(0., 0.), Complex64::cis(h)]])
             }
             _ => return None,
         };
@@ -232,10 +231,7 @@ fn r_mat(theta: f64, phi: f64) -> Mat2 {
 }
 
 fn phase_mat(l: f64) -> Mat2 {
-    Mat2::new([
-        [Complex64::ONE, Complex64::ZERO],
-        [Complex64::ZERO, Complex64::cis(l)],
-    ])
+    Mat2::new([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::cis(l)]])
 }
 
 /// `M(θ, φ₁, φ₂)` matrix from the paper's Fig. 4.
@@ -250,12 +246,7 @@ fn ms_mat(theta: f64, phi1: f64, phi2: f64) -> Mat4 {
     let b = mi * Complex64::cis(-dif) * s; // row 01, col 10
     let b2 = mi * Complex64::cis(dif) * s; // row 10, col 01
     let a2 = mi * Complex64::cis(sum) * s; // row 11, col 00
-    Mat4::new([
-        [cc, z, z, a],
-        [z, cc, b, z],
-        [z, b2, cc, z],
-        [a2, z, z, cc],
-    ])
+    Mat4::new([[cc, z, z, a], [z, cc, b, z], [z, b2, cc, z], [a2, z, z, cc]])
 }
 
 #[cfg(test)]
@@ -329,11 +320,9 @@ mod tests {
     #[test]
     fn pauli_gates_match_rotations_up_to_phase() {
         // X = e^{iπ/2} Rx(π), etc.
-        for (pauli, rot) in [
-            (Gate::X, Gate::Rx(PI)),
-            (Gate::Y, Gate::Ry(PI)),
-            (Gate::Z, Gate::Rz(PI)),
-        ] {
+        for (pauli, rot) in
+            [(Gate::X, Gate::Rx(PI)), (Gate::Y, Gate::Ry(PI)), (Gate::Z, Gate::Rz(PI))]
+        {
             let p = pauli.matrix1().unwrap();
             let r = rot.matrix1().unwrap();
             assert!(p.approx_eq_up_to_phase(&r, 1e-12), "{pauli:?}");
@@ -351,12 +340,7 @@ mod tests {
     fn fully_entangling_ms_creates_bell_state() {
         // XX(π/2)|00⟩ = (|00⟩ - i|11⟩)/√2 — the state in §III of the paper.
         let m = Gate::Xx(FRAC_PI_2).matrix2().unwrap();
-        let out = m.mul_vec([
-            Complex64::ONE,
-            Complex64::ZERO,
-            Complex64::ZERO,
-            Complex64::ZERO,
-        ]);
+        let out = m.mul_vec([Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
         assert!(out[0].approx_eq(Complex64::real(inv_sqrt2), 1e-12));
         assert!(out[1].approx_eq(Complex64::ZERO, 1e-12));

@@ -19,6 +19,8 @@
 //! assert_eq!(native.used_couplings().len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod circuit;
 pub mod gates;
 pub mod library;

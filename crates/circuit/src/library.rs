@@ -84,7 +84,7 @@ pub fn qaoa_maxcut(n: usize, edges: &[(usize, usize)], angles: &[(f64, f64)]) ->
 /// A random 3-regular graph on `n` vertices (n even), for QAOA workloads.
 /// Uses repeated perfect matchings with collision retries.
 pub fn random_3_regular<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(usize, usize)> {
-    assert!(n >= 4 && n % 2 == 0, "3-regular graph needs even n >= 4");
+    assert!(n >= 4 && n.is_multiple_of(2), "3-regular graph needs even n >= 4");
     loop {
         let mut edges = std::collections::BTreeSet::new();
         let mut ok = true;
@@ -178,7 +178,7 @@ pub fn cuccaro_adder(bits: usize) -> Circuit {
 pub fn grover(n: usize, marked: usize, iters: usize) -> Circuit {
     assert!(n >= 2, "grover needs at least two qubits");
     assert!(marked < (1 << n), "marked state out of range");
-    let anc = if n > 2 { n - 2 } else { 0 };
+    let anc = n.saturating_sub(2);
     let mut c = Circuit::new(n + anc);
     for q in 0..n {
         c.h(q);

@@ -250,8 +250,8 @@ pub fn ops_unitary_1q(ops: &[Op]) -> Mat2 {
 mod tests {
     use super::*;
     use crate::library;
-    use itqc_math::Complex64;
     use itqc_math::CMatrix;
+    use itqc_math::Complex64;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -274,7 +274,8 @@ mod tests {
 
     #[test]
     fn all_basic_gates_lower_correctly() {
-        let gates: Vec<Box<dyn Fn(&mut Circuit)>> = vec![
+        type GateApplier = Box<dyn Fn(&mut Circuit)>;
+        let gates: Vec<GateApplier> = vec![
             Box::new(|c| {
                 c.x(0);
             }),

@@ -60,11 +60,8 @@ pub fn binary_search_single<E: TestExecutor>(
     excluded: &BTreeSet<Coupling>,
 ) -> (Option<Coupling>, BaselineReport) {
     let space = LabelSpace::new(n_qubits);
-    let mut suspects: Vec<Coupling> = space
-        .all_couplings()
-        .into_iter()
-        .filter(|c| !excluded.contains(c))
-        .collect();
+    let mut suspects: Vec<Coupling> =
+        space.all_couplings().into_iter().filter(|c| !excluded.contains(c)).collect();
     let mut tests_run = 0;
     let mut adaptations = 0;
 
@@ -75,11 +72,7 @@ pub fn binary_search_single<E: TestExecutor>(
         let spec = TestSpec::for_couplings(format!("bisect |{}|", half.len()), &half, reps);
         tests_run += 1;
         let failed = exec.run_test(&spec, shots) < threshold;
-        suspects = if failed {
-            half
-        } else {
-            suspects[suspects.len() / 2..].to_vec()
-        };
+        suspects = if failed { half } else { suspects[suspects.len() / 2..].to_vec() };
     }
     let candidate = suspects.pop();
     let verified = match candidate {
@@ -149,8 +142,7 @@ mod tests {
     fn binary_search_isolates_single_fault() {
         for truth in [Coupling::new(0, 1), Coupling::new(3, 4), Coupling::new(6, 7)] {
             let mut exec = ExactExecutor::new(8).with_fault(truth, 0.35);
-            let (found, report) =
-                binary_search_single(&mut exec, 8, 4, 0.5, 1, &BTreeSet::new());
+            let (found, report) = binary_search_single(&mut exec, 8, 4, 0.5, 1, &BTreeSet::new());
             assert_eq!(found, Some(truth));
             // ⌈log₂ 28⌉ = 5 bisection tests + 1 verification.
             assert!(report.tests_run <= 6, "{}", report.tests_run);

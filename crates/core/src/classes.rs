@@ -146,8 +146,7 @@ pub struct EqualBitsClass {
 impl EqualBitsClass {
     /// `true` when `label` belongs to the class.
     pub fn contains(&self, label: usize) -> bool {
-        self.fixed.matches(label)
-            && bits::bit(label, self.pos_lo) == bits::bit(label, self.pos_hi)
+        self.fixed.matches(label) && bits::bit(label, self.pos_lo) == bits::bit(label, self.pos_hi)
     }
 
     /// The physical member labels, ascending.
@@ -298,10 +297,7 @@ mod tests {
         for a in 0..8usize {
             for b in (a + 1)..8 {
                 let complementary = a ^ b == 7;
-                let covering = classes
-                    .iter()
-                    .filter(|cl| cl.contains(a) && cl.contains(b))
-                    .count();
+                let covering = classes.iter().filter(|cl| cl.contains(a) && cl.contains(b)).count();
                 if complementary {
                     assert_eq!(covering, 0, "{{{a},{b}}}");
                 } else {
@@ -354,9 +350,8 @@ mod tests {
             if a >= b {
                 continue;
             }
-            let sig: Vec<bool> = (1..3u32)
-                .map(|i| bits::bit(a, i - 1) == bits::bit(a, i))
-                .collect();
+            let sig: Vec<bool> =
+                (1..3u32).map(|i| bits::bit(a, i - 1) == bits::bit(a, i)).collect();
             assert!(seen.insert(sig.clone()), "signature {sig:?} repeated");
         }
         assert_eq!(seen.len(), 4);
@@ -383,10 +378,8 @@ mod tests {
                 let truth = Coupling::new(a, b);
                 let syn = Syndrome::of_coupling(truth, 3);
                 let free = syn.free_positions(3);
-                let flags: Vec<bool> = free
-                    .windows(2)
-                    .map(|w| bits::bit(a, w[0]) == bits::bit(a, w[1]))
-                    .collect();
+                let flags: Vec<bool> =
+                    free.windows(2).map(|w| bits::bit(a, w[0]) == bits::bit(a, w[1])).collect();
                 let decoded = decode_pair(&syn, &flags, &s);
                 assert_eq!(decoded, Some(truth), "pair {{{a},{b}}}");
             }
@@ -404,10 +397,7 @@ mod tests {
         // flags for pair {1,6}: label 6 = 110 is padding → rejected
         assert_eq!(decode_pair(&syn, &[false, true], &s), None);
         // flags for pair {2,5}: label 2 = 010: bit0≠bit1, bit1≠bit2
-        assert_eq!(
-            decode_pair(&syn, &[false, false], &s),
-            Some(Coupling::new(2, 5))
-        );
+        assert_eq!(decode_pair(&syn, &[false, false], &s), Some(Coupling::new(2, 5)));
     }
 
     #[test]

@@ -51,9 +51,7 @@ pub fn consistent_couplings(
         .into_iter()
         .filter(|c| !excluded.contains(c))
         .filter(|&c| {
-            Syndrome::of_coupling(c, space.n_bits())
-                .iter()
-                .all(|(i, v)| failing.contains(&(i, v)))
+            Syndrome::of_coupling(c, space.n_bits()).iter().all(|(i, v)| failing.contains(&(i, v)))
         })
         .collect()
 }
@@ -78,8 +76,7 @@ pub fn minimal_covers(
     let cands: Vec<(Coupling, Vec<(u32, bool)>)> = candidates
         .into_iter()
         .map(|c| {
-            let syn: Vec<(u32, bool)> =
-                Syndrome::of_coupling(c, space.n_bits()).iter().collect();
+            let syn: Vec<(u32, bool)> = Syndrome::of_coupling(c, space.n_bits()).iter().collect();
             (c, syn)
         })
         .filter(|(_, syn)| !syn.is_empty())

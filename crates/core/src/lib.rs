@@ -39,6 +39,8 @@
 //! assert!(report.tests_run() <= 9); // 3n − 1 = 8, plus verification
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod classes;
 pub mod cost;

@@ -156,17 +156,14 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
 
     'outer: while diagnosed.len() <= config.max_faults {
         // Canary: every relevant coupling at maximal amplification.
-        let relevant: Vec<Coupling> = space
-            .all_couplings()
-            .into_iter()
-            .filter(|c| !excluded.contains(c))
-            .collect();
+        let relevant: Vec<Coupling> =
+            space.all_couplings().into_iter().filter(|c| !excluded.contains(c)).collect();
         if relevant.is_empty() {
             converged = true;
             break;
         }
-        let canary = TestSpec::for_couplings("canary", &relevant, max_reps)
-            .with_score(config.canary_score);
+        let canary =
+            TestSpec::for_couplings("canary", &relevant, max_reps).with_score(config.canary_score);
         tests_run += 1;
         let f = exec.run_test(&canary, config.canary_shots);
         if f >= config.canary_threshold {
@@ -286,9 +283,10 @@ fn magnitude_verify<E: TestExecutor>(
     config: &MultiFaultConfig,
     tests_run: &mut usize,
 ) -> bool {
-    let verify_reps = reps.min(4).max(2);
-    let spec = TestSpec::for_couplings(format!("magnitude verify {coupling}"), &[coupling], verify_reps)
-        .with_score(config.score);
+    let verify_reps = reps.clamp(2, 4);
+    let spec =
+        TestSpec::for_couplings(format!("magnitude verify {coupling}"), &[coupling], verify_reps)
+            .with_score(config.score);
     *tests_run += 1;
     let s = exec.run_test(&spec, config.shots).clamp(0.0, 1.0);
     let dev = (2.0 * s - 1.0).clamp(-1.0, 1.0).acos();
@@ -441,9 +439,7 @@ mod tests {
         // big one at low amplification, the small one after exclusion.
         let big = Coupling::new(0, 4);
         let small = Coupling::new(2, 5);
-        let mut exec = ExactExecutor::new(8)
-            .with_fault(big, 0.45)
-            .with_fault(small, 0.16);
+        let mut exec = ExactExecutor::new(8).with_fault(big, 0.45).with_fault(small, 0.16);
         let mut cfg = config();
         cfg.reps_ladder = vec![2, 4, 8];
         let report = diagnose_all(&mut exec, 8, &cfg);
@@ -454,11 +450,8 @@ mod tests {
 
     #[test]
     fn three_faults_spread_in_magnitude() {
-        let faults = [
-            (Coupling::new(0, 7), 0.48),
-            (Coupling::new(1, 3), 0.22),
-            (Coupling::new(4, 6), 0.09),
-        ];
+        let faults =
+            [(Coupling::new(0, 7), 0.48), (Coupling::new(1, 3), 0.22), (Coupling::new(4, 6), 0.09)];
         let mut exec = ExactExecutor::new(8).with_faults(faults.iter().map(|&(c, u)| (c, u)));
         let mut cfg = config();
         cfg.reps_ladder = vec![2, 4, 8, 16];
@@ -504,6 +497,13 @@ mod tests {
         cfg.reps_ladder = vec![2, 4, 8];
         let report = diagnose_all(&mut exec, 16, &cfg);
         assert!(report.converged, "{report:?}");
-        assert_eq!(report.couplings(), vec![small, big].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            report.couplings(),
+            vec![small, big]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
     }
 }

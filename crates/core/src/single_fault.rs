@@ -86,7 +86,7 @@ impl SingleFaultProtocol {
     /// Panics if `reps` is odd or zero, `threshold` is outside `(0, 1]`,
     /// or `shots` is zero.
     pub fn new(n_qubits: usize, reps: usize, threshold: f64, shots: usize) -> Self {
-        assert!(reps >= 2 && reps % 2 == 0, "repetitions must be even");
+        assert!(reps >= 2 && reps.is_multiple_of(2), "repetitions must be even");
         assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0,1]");
         assert!(shots > 0, "need at least one shot");
         SingleFaultProtocol {
@@ -195,10 +195,8 @@ impl SingleFaultProtocol {
         let mut equal_flags = Vec::with_capacity(second.len());
         if !second.is_empty() {
             adaptations += 1;
-            let compiled: usize = second
-                .iter()
-                .map(|c| c.couplings(&self.space, &self.excluded).len())
-                .sum();
+            let compiled: usize =
+                second.iter().map(|c| c.couplings(&self.space, &self.excluded).len()).sum();
             exec.note_adaptation(compiled);
             for class in &second {
                 let couplings = class.couplings(&self.space, &self.excluded);
@@ -241,26 +239,26 @@ impl SingleFaultProtocol {
                 } else {
                     Diagnosis::Inconclusive
                 };
-                DiagnosisReport { diagnosis, syndrome, tests, adaptations, candidate: Some(coupling) }
+                DiagnosisReport {
+                    diagnosis,
+                    syndrome,
+                    tests,
+                    adaptations,
+                    candidate: Some(coupling),
+                }
             }
             Some(_excluded) => {
                 // Decoded onto an already-excluded coupling: not
                 // re-accusable (Corollary V.12 removed it from play).
                 let all_passed = tests.iter().all(|t| !t.failed);
-                let diagnosis = if all_passed {
-                    Diagnosis::NoFault
-                } else {
-                    Diagnosis::Inconclusive
-                };
+                let diagnosis =
+                    if all_passed { Diagnosis::NoFault } else { Diagnosis::Inconclusive };
                 DiagnosisReport { diagnosis, syndrome, tests, adaptations, candidate: None }
             }
             None => {
                 let all_passed = tests.iter().all(|t| !t.failed);
-                let diagnosis = if all_passed {
-                    Diagnosis::NoFault
-                } else {
-                    Diagnosis::Inconclusive
-                };
+                let diagnosis =
+                    if all_passed { Diagnosis::NoFault } else { Diagnosis::Inconclusive };
                 DiagnosisReport { diagnosis, syndrome, tests, adaptations, candidate: None }
             }
         }
@@ -293,11 +291,7 @@ mod tests {
                 );
                 // Theorem V.10 test budget: 3n−1 plus one verification.
                 let n_bits = 3;
-                assert!(
-                    report.tests_run() <= 3 * n_bits,
-                    "{truth}: {} tests",
-                    report.tests_run()
-                );
+                assert!(report.tests_run() <= 3 * n_bits, "{truth}: {} tests", report.tests_run());
                 assert!(report.adaptations <= 2);
             }
         }

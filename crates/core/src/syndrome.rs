@@ -98,9 +98,7 @@ impl Syndrome {
     /// `self` appears in `other`) — the consistency relation used by the
     /// multi-fault decoder.
     pub fn is_subset_of(&self, other: &Syndrome) -> bool {
-        self.entries
-            .iter()
-            .all(|(&i, &v)| other.value_at(i) == Some(v))
+        self.entries.iter().all(|(&i, &v)| other.value_at(i) == Some(v))
     }
 
     /// All candidate faulty couplings consistent with this syndrome on an
@@ -148,10 +146,8 @@ impl fmt::Display for Syndrome {
         if self.is_empty() {
             return write!(f, "(empty syndrome)");
         }
-        let parts: Vec<String> = self
-            .iter()
-            .map(|(i, v)| format!("({i},{})", u8::from(v)))
-            .collect();
+        let parts: Vec<String> =
+            self.iter().map(|(i, v)| format!("({i},{})", u8::from(v))).collect();
         write!(f, "{}", parts.join(" "))
     }
 }

@@ -58,7 +58,10 @@ impl TestSpec {
     ///
     /// Panics if `reps` is zero or odd.
     pub fn for_couplings(label: impl Into<String>, couplings: &[Coupling], reps: usize) -> Self {
-        assert!(reps >= 2 && reps % 2 == 0, "single-output tests need an even repetition count");
+        assert!(
+            reps >= 2 && reps.is_multiple_of(2),
+            "single-output tests need an even repetition count"
+        );
         let mut gates = Vec::with_capacity(couplings.len() * reps);
         for &c in couplings {
             for _ in 0..reps {
@@ -151,7 +154,7 @@ pub fn cancellation_breaker(
 /// The ideal output string of a repetition test: qubit `q` reads
 /// `(r/2)·deg(q) mod 2`.
 pub fn expected_output(couplings: &[Coupling], reps: usize) -> usize {
-    assert!(reps % 2 == 0, "odd repetition counts leave entangled outputs");
+    assert!(reps.is_multiple_of(2), "odd repetition counts leave entangled outputs");
     let mut degree: BTreeMap<usize, usize> = BTreeMap::new();
     for c in couplings {
         *degree.entry(c.lo()).or_insert(0) += 1;
@@ -208,10 +211,7 @@ mod tests {
                 let spec = TestSpec::for_couplings("t", cs, reps);
                 let state = run(&spec.as_circuit(5));
                 let p = state.probability(spec.target);
-                assert!(
-                    (p - 1.0).abs() < 1e-9,
-                    "set {cs:?} reps {reps}: P(target) = {p}"
-                );
+                assert!((p - 1.0).abs() < 1e-9, "set {cs:?} reps {reps}: P(target) = {p}");
             }
         }
     }

@@ -22,12 +22,8 @@ pub fn eq1_ms_fidelity(eta_i: &[f64], eta_j: &[f64], alpha_sqr: &[f64]) -> f64 {
         eta_i.len() == eta_j.len() && eta_j.len() == alpha_sqr.len(),
         "mode arrays must have the same length"
     );
-    let loss: f64 = eta_i
-        .iter()
-        .zip(eta_j)
-        .zip(alpha_sqr)
-        .map(|((ei, ej), a2)| (ei * ei + ej * ej) * a2)
-        .sum();
+    let loss: f64 =
+        eta_i.iter().zip(eta_j).zip(alpha_sqr).map(|((ei, ej), a2)| (ei * ei + ej * ej) * a2).sum();
     1.0 - 0.8 * loss
 }
 
@@ -52,7 +48,12 @@ pub struct MsFidelityEstimate {
 /// # Panics
 ///
 /// Panics if `phis` and `parities` lengths differ.
-pub fn eq2_fidelity_from_data(p00: f64, p11: f64, phis: &[f64], parities: &[f64]) -> MsFidelityEstimate {
+pub fn eq2_fidelity_from_data(
+    p00: f64,
+    p11: f64,
+    phis: &[f64],
+    parities: &[f64],
+) -> MsFidelityEstimate {
     assert_eq!(phis.len(), parities.len(), "scan length mismatch");
     let contrast = fit_sin2phi_amplitude(phis, parities).abs();
     MsFidelityEstimate { p00, p11, contrast, fidelity: (p00 + p11 + contrast) / 2.0 }

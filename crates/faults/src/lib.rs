@@ -12,6 +12,8 @@
 //! The Fig.-9 composite under-rotation distribution lives in
 //! [`itqc_math::rng::CompositeUnderRotation`] and is re-exported here.
 
+#![warn(missing_docs)]
+
 pub mod drift;
 pub mod estimator;
 pub mod models;

@@ -61,10 +61,9 @@ impl OneQubitError {
         match gate {
             Gate::R { theta, phi } => Gate::R { theta: theta + self.dtheta, phi: phi + self.dphi },
             Gate::Rx(t) => Gate::R { theta: t + self.dtheta, phi: self.dphi },
-            Gate::Ry(t) => Gate::R {
-                theta: t + self.dtheta,
-                phi: std::f64::consts::FRAC_PI_2 + self.dphi,
-            },
+            Gate::Ry(t) => {
+                Gate::R { theta: t + self.dtheta, phi: std::f64::consts::FRAC_PI_2 + self.dphi }
+            }
             other => other,
         }
     }
@@ -93,11 +92,7 @@ impl MsError {
     /// Perturbs an MS-family gate; other gates pass through unchanged.
     pub fn perturb(&self, gate: Gate) -> Gate {
         match gate {
-            Gate::Xx(t) => Gate::Ms {
-                theta: t + self.dtheta,
-                phi1: self.dphi1,
-                phi2: self.dphi2,
-            },
+            Gate::Xx(t) => Gate::Ms { theta: t + self.dtheta, phi1: self.dphi1, phi2: self.dphi2 },
             Gate::Ms { theta, phi1, phi2 } => Gate::Ms {
                 theta: theta + self.dtheta,
                 phi1: phi1 + self.dphi1,
@@ -173,10 +168,7 @@ mod tests {
     #[test]
     fn one_qubit_error_perturbs_rotations_only() {
         let e = OneQubitError { dtheta: 0.01, dphi: 0.02 };
-        assert_eq!(
-            e.perturb(Gate::Rx(1.0)),
-            Gate::R { theta: 1.01, phi: 0.02 }
-        );
+        assert_eq!(e.perturb(Gate::Rx(1.0)), Gate::R { theta: 1.01, phi: 0.02 });
         assert_eq!(e.perturb(Gate::H), Gate::H);
     }
 

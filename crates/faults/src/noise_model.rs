@@ -136,11 +136,8 @@ impl NoiseModel for IonTrapNoise {
                     Some(pn) => pn.step(self.phase_noise_dt, rng),
                     None => 0.0,
                 };
-                let noisy = Gate::Ms {
-                    theta: theta * (1.0 - u),
-                    phi1: phi1 + phase,
-                    phi2: phi2 + phase,
-                };
+                let noisy =
+                    Gate::Ms { theta: theta * (1.0 - u), phi1: phi1 + phase, phi2: phi2 + phase };
                 out.push(Op::two(noisy, op.qubits()[0], op.qubits()[1]));
             }
             Gate::R { theta, phi } if self.one_qubit_noise_std > 0.0 => {
@@ -194,8 +191,8 @@ mod tests {
 
     #[test]
     fn deterministic_fault_reproduces_analytic_fidelity() {
-        let mut model = IonTrapNoise::new()
-            .with_coupling_fault(CouplingFault::new(Coupling::new(0, 1), 0.22));
+        let mut model =
+            IonTrapNoise::new().with_coupling_fault(CouplingFault::new(Coupling::new(0, 1), 0.22));
         let mut rng = SmallRng::seed_from_u64(2);
         let f = average_target_probability(&four_ms(0, 1, 2), 0, 3, &mut model, &mut rng);
         let expect = (std::f64::consts::PI * 0.22).cos().powi(2);
@@ -210,9 +207,8 @@ mod tests {
         let sigma = 0.10 * (std::f64::consts::PI / 2.0).sqrt();
         let mut model = IonTrapNoise::new().with_amplitude_noise(sigma);
         let c = four_ms(0, 1, 2);
-        let fs: Vec<f64> = (0..200)
-            .map(|_| run_trajectory(&c, &mut model, &mut rng).probability(0))
-            .collect();
+        let fs: Vec<f64> =
+            (0..200).map(|_| run_trajectory(&c, &mut model, &mut rng).probability(0)).collect();
         let mean = stats::mean(&fs);
         // Four independent jitters of std σ compose to a total-angle spread
         // of 2σ·(π/2); E[cos²] ≈ 0.963 at σ = 0.1253.
@@ -242,8 +238,7 @@ mod tests {
         // cancels them. Phase noise alone leaves echoed sequences nearly
         // ideal over short sequences.
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut model = IonTrapNoise::new()
-            .with_phase_noise(OneOverF::new(0.05, 1.0, 6), 0.1);
+        let mut model = IonTrapNoise::new().with_phase_noise(OneOverF::new(0.05, 1.0, 6), 0.1);
         let c = four_ms(0, 1, 2);
         let f = average_target_probability(&c, 0, 50, &mut model, &mut rng);
         assert!(f > 0.95, "small phase noise keeps test fidelity high, got {f}");
@@ -251,8 +246,8 @@ mod tests {
 
     #[test]
     fn faults_map_is_queryable() {
-        let model = IonTrapNoise::new()
-            .with_coupling_fault(CouplingFault::new(Coupling::new(2, 5), 0.15));
+        let model =
+            IonTrapNoise::new().with_coupling_fault(CouplingFault::new(Coupling::new(2, 5), 0.15));
         assert_eq!(model.coupling_fault(Coupling::new(5, 2)), Some(0.15));
         assert_eq!(model.coupling_fault(Coupling::new(0, 1)), None);
     }

@@ -112,8 +112,7 @@ pub fn spectral_slope(trace: &[f64]) -> f64 {
     let mut lo = 1usize;
     while 2 * lo <= n / 2 {
         let hi = 2 * lo;
-        let power: f64 =
-            (lo..hi).map(|k| spec[k].norm_sqr()).sum::<f64>() / (hi - lo) as f64;
+        let power: f64 = (lo..hi).map(|k| spec[k].norm_sqr()).sum::<f64>() / (hi - lo) as f64;
         if power > 0.0 {
             xs.push(((lo + hi) as f64 / 2.0).ln());
             ys.push(power.ln());

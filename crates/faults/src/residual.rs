@@ -33,10 +33,7 @@ impl ResidualCoupling {
     ///
     /// Panics if `odd_population` is outside `[0, 1]`.
     pub fn new(odd_population: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&odd_population),
-            "odd population must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&odd_population), "odd population must be a probability");
         let kick_angle = 2.0 * (odd_population / 2.0).sqrt().asin();
         ResidualCoupling { odd_population, kick_angle }
     }
@@ -126,9 +123,6 @@ mod tests {
             odd_acc += s.probability(0b01) + s.probability(0b10);
         }
         let odd = odd_acc / trials as f64;
-        assert!(
-            odd > 0.015 && odd < 0.07,
-            "odd population {odd} should be near 4 × {level}"
-        );
+        assert!(odd > 0.015 && odd < 0.07, "odd population {odd} should be near 4 × {level}");
     }
 }

@@ -165,10 +165,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Complex64::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -191,6 +188,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w == z·w⁻¹ is the definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

@@ -105,12 +105,12 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch in matrix-vector product");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
             for (c, &x) in v.iter().enumerate() {
                 acc += self.at(r, c) * x;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -158,11 +158,7 @@ impl CMatrix {
     pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .all(|(a, b)| a.approx_eq(*b, tol))
+            && self.data.iter().zip(other.data.iter()).all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// Approximate equality up to a global phase factor.
@@ -253,8 +249,7 @@ mod tests {
     }
 
     fn hadamard() -> Mat2 {
-        Mat2::new([[c(1.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(-1.0, 0.0)]])
-            .scale(FRAC_1_SQRT_2)
+        Mat2::new([[c(1.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(-1.0, 0.0)]]).scale(FRAC_1_SQRT_2)
     }
 
     fn pauli_x() -> Mat2 {

@@ -114,10 +114,7 @@ fn finish(m: Vec<f64>, v: Vec<f64>, n: usize) -> SymEig {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| m[i * n + i].partial_cmp(&m[j * n + j]).unwrap());
     let values = order.iter().map(|&k| m[k * n + k]).collect();
-    let vectors = order
-        .iter()
-        .map(|&k| (0..n).map(|r| v[r * n + k]).collect())
-        .collect();
+    let vectors = order.iter().map(|&k| (0..n).map(|r| v[r * n + k]).collect()).collect();
     SymEig { values, vectors }
 }
 
@@ -128,9 +125,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn matvec(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
-        (0..n)
-            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
-            .collect()
+        (0..n).map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum()).collect()
     }
 
     #[test]
@@ -158,11 +153,8 @@ mod tests {
         // Each (λ, v) must satisfy A v = λ v and vectors must be orthonormal.
         for k in 0..n {
             let av = matvec(&a, n, &e.vectors[k]);
-            for r in 0..n {
-                assert!(
-                    (av[r] - e.values[k] * e.vectors[k][r]).abs() < 1e-8,
-                    "eigenpair residual too large"
-                );
+            for (avr, vkr) in av.iter().zip(&e.vectors[k]) {
+                assert!((avr - e.values[k] * vkr).abs() < 1e-8, "eigenpair residual too large");
             }
         }
         for i in 0..n {

@@ -89,9 +89,8 @@ mod tests {
     fn single_tone_peaks_at_its_bin() {
         let n = 64;
         let f = 5;
-        let mut x: Vec<Complex64> = (0..n)
-            .map(|j| Complex64::cis(2.0 * PI * f as f64 * j as f64 / n as f64))
-            .collect();
+        let mut x: Vec<Complex64> =
+            (0..n).map(|j| Complex64::cis(2.0 * PI * f as f64 * j as f64 / n as f64)).collect();
         fft(&mut x);
         for (k, z) in x.iter().enumerate() {
             if k == f {
@@ -119,9 +118,8 @@ mod tests {
     #[test]
     fn parseval_energy_conservation() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let x: Vec<Complex64> = (0..128)
-            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
-            .collect();
+        let x: Vec<Complex64> =
+            (0..128).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
         let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut spec = x.clone();
         fft(&mut spec);

@@ -23,6 +23,8 @@
 //! assert!(h.is_unitary(1e-12));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bits;
 pub mod complex;
 pub mod dense;

@@ -21,10 +21,7 @@ impl Mat2 {
 
     /// The 2×2 identity.
     pub fn identity() -> Self {
-        Mat2::new([
-            [Complex64::ONE, Complex64::ZERO],
-            [Complex64::ZERO, Complex64::ONE],
-        ])
+        Mat2::new([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]])
     }
 
     /// The zero matrix.
@@ -62,10 +59,7 @@ impl Mat2 {
     /// Applies the matrix to a 2-vector.
     #[inline]
     pub fn mul_vec(&self, v: [Complex64; 2]) -> [Complex64; 2] {
-        [
-            self.m[0][0] * v[0] + self.m[0][1] * v[1],
-            self.m[1][0] * v[0] + self.m[1][1] * v[1],
-        ]
+        [self.m[0][0] * v[0] + self.m[0][1] * v[1], self.m[1][0] * v[0] + self.m[1][1] * v[1]]
     }
 
     /// Conjugate transpose.
@@ -95,7 +89,7 @@ impl Mat2 {
         let mut out = *self;
         for r in 0..2 {
             for c in 0..2 {
-                out.m[r][c] = out.m[r][c] * s;
+                out.m[r][c] *= s;
             }
         }
         out
@@ -129,11 +123,7 @@ impl Mat2 {
     /// Quantum gates that differ only by global phase are physically
     /// identical; this is the right notion of equality for transpiler tests.
     pub fn approx_eq_up_to_phase(&self, other: &Mat2, tol: f64) -> bool {
-        phase_align_eq(
-            self.m.iter().flatten().copied(),
-            other.m.iter().flatten().copied(),
-            tol,
-        )
+        phase_align_eq(self.m.iter().flatten().copied(), other.m.iter().flatten().copied(), tol)
     }
 }
 
@@ -267,11 +257,7 @@ impl Mat4 {
 
     /// Approximate equality up to a global phase.
     pub fn approx_eq_up_to_phase(&self, other: &Mat4, tol: f64) -> bool {
-        phase_align_eq(
-            self.m.iter().flatten().copied(),
-            other.m.iter().flatten().copied(),
-            tol,
-        )
+        phase_align_eq(self.m.iter().flatten().copied(), other.m.iter().flatten().copied(), tol)
     }
 }
 
@@ -309,9 +295,7 @@ where
     if (phase.norm() - 1.0).abs() > tol.max(1e-9) {
         return false;
     }
-    av.iter()
-        .zip(bv.iter())
-        .all(|(&x, &y)| (x * phase).approx_eq(y, tol))
+    av.iter().zip(bv.iter()).all(|(&x, &y)| (x * phase).approx_eq(y, tol))
 }
 
 #[cfg(test)]
@@ -328,8 +312,7 @@ mod tests {
     }
 
     fn hadamard() -> Mat2 {
-        Mat2::new([[c(1.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(-1.0, 0.0)]])
-            .scale(FRAC_1_SQRT_2)
+        Mat2::new([[c(1.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(-1.0, 0.0)]]).scale(FRAC_1_SQRT_2)
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! Plus shot-noise utilities ([`shots`]) and a stochastic-trajectory runner
 //! ([`trajectory`]) for the non-deterministic error classes.
 
+#![warn(missing_docs)]
+
 pub mod shots;
 pub mod statevector;
 pub mod trajectory;

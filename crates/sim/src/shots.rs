@@ -69,10 +69,8 @@ mod tests {
         let trials = 2000;
         let shots = 300;
         let p = 0.45;
-        let mean: f64 = (0..trials)
-            .map(|_| binomial(&mut rng, shots, p) as f64)
-            .sum::<f64>()
-            / trials as f64;
+        let mean: f64 =
+            (0..trials).map(|_| binomial(&mut rng, shots, p) as f64).sum::<f64>() / trials as f64;
         assert!((mean - shots as f64 * p).abs() < 2.0, "mean {mean}");
     }
 

@@ -120,11 +120,7 @@ impl StateVector {
     /// Panics if qubit counts differ.
     pub fn overlap(&self, other: &StateVector) -> Complex64 {
         assert_eq!(self.n_qubits, other.n_qubits, "state size mismatch");
-        self.amps
-            .iter()
-            .zip(other.amps.iter())
-            .map(|(a, b)| b.conj() * *a)
-            .sum()
+        self.amps.iter().zip(other.amps.iter()).map(|(a, b)| b.conj() * *a).sum()
     }
 
     /// State fidelity `|⟨other|self⟩|²`.
@@ -135,12 +131,7 @@ impl StateVector {
     /// Probability that qubit `q` measures `|1⟩`.
     pub fn marginal_one(&self, q: usize) -> f64 {
         let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & bit != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Applies a single-qubit gate matrix to qubit `q`.
@@ -214,10 +205,7 @@ impl StateVector {
     ///
     /// Panics if the circuit register is larger than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(
-            circuit.n_qubits() <= self.n_qubits,
-            "circuit register larger than state"
-        );
+        assert!(circuit.n_qubits() <= self.n_qubits, "circuit register larger than state");
         for op in circuit.ops() {
             self.apply_op(op);
         }
@@ -238,7 +226,11 @@ impl StateVector {
     }
 
     /// Samples `shots` measurement outcomes and returns a count map.
-    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> BTreeMap<usize, usize> {
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shots: usize,
+    ) -> BTreeMap<usize, usize> {
         let mut counts = BTreeMap::new();
         for _ in 0..shots {
             *counts.entry(self.sample(rng)).or_insert(0) += 1;

@@ -112,11 +112,9 @@ mod tests {
     impl NoiseModel for FixedUnderRotation {
         fn rewrite<R: Rng + ?Sized>(&mut self, op: &Op, _rng: &mut R, out: &mut Vec<Op>) {
             match op.gate {
-                Gate::Xx(t) => out.push(Op::two(
-                    Gate::Xx(t * (1.0 - self.0)),
-                    op.qubits()[0],
-                    op.qubits()[1],
-                )),
+                Gate::Xx(t) => {
+                    out.push(Op::two(Gate::Xx(t * (1.0 - self.0)), op.qubits()[0], op.qubits()[1]))
+                }
                 _ => out.push(*op),
             }
         }

@@ -97,11 +97,7 @@ impl XxCircuit {
 
     /// The sorted set of qubits touched by at least one gate.
     pub fn support(&self) -> Vec<usize> {
-        let mut s: Vec<usize> = self
-            .terms
-            .keys()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut s: Vec<usize> = self.terms.keys().flat_map(|&(a, b)| [a, b]).collect();
         s.sort_unstable();
         s.dedup();
         s
@@ -152,9 +148,7 @@ impl XxCircuit {
 
         // Gray-code walk over the 2^m X-basis configurations.
         let mut s = vec![1.0f64; m]; // spins ±1
-        let mut r: Vec<f64> = (0..m)
-            .map(|q| (0..m).map(|b| w[q * m + b]).sum())
-            .collect();
+        let mut r: Vec<f64> = (0..m).map(|q| (0..m).map(|b| w[q * m + b]).sum()).collect();
         // φ(all +1) = Σ_{a<b} Θ_ab/2 · 1 = (1/4)·Σ_q r_q.
         let mut phi: f64 = 0.25 * r.iter().sum::<f64>();
         let mut sign = 1.0f64;
@@ -220,10 +214,7 @@ impl XxCircuit {
     ///
     /// Returns 1 for an empty circuit.
     pub fn min_qubit_agreement(&self, target: usize) -> f64 {
-        self.support()
-            .into_iter()
-            .map(|q| self.qubit_agreement(q, target))
-            .fold(1.0, f64::min)
+        self.support().into_iter().map(|q| self.qubit_agreement(q, target)).fold(1.0, f64::min)
     }
 }
 

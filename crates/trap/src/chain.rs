@@ -108,8 +108,7 @@ impl IonChain {
             };
             let mut step = 1.0;
             'damp: loop {
-                let trial: Vec<f64> =
-                    u.iter().zip(&delta).map(|(x, d)| x - step * d).collect();
+                let trial: Vec<f64> = u.iter().zip(&delta).map(|(x, d)| x - step * d).collect();
                 let ordered = trial.windows(2).all(|w| w[1] - w[0] > 1e-6);
                 if ordered && residual(&trial) < err {
                     *u = trial;
@@ -270,11 +269,7 @@ pub fn pulse_alpha(segments: &[PulseSegment], omega: f64) -> Complex64 {
 
 /// `|α_p|²` for every mode in a spectrum.
 pub fn pulse_alpha_sqr(segments: &[PulseSegment], modes: &ModeSpectrum) -> Vec<f64> {
-    modes
-        .frequencies()
-        .iter()
-        .map(|&w| pulse_alpha(segments, w).norm_sqr())
-        .collect()
+    modes.frequencies().iter().map(|&w| pulse_alpha(segments, w).norm_sqr()).collect()
 }
 
 /// Designs an amplitude-modulated pulse that *exactly decouples* the
@@ -344,9 +339,8 @@ pub fn design_decoupled_pulse(
     }
     // Exactness check: if the system was over-constrained the residuals
     // stay finite — report failure rather than a half-decoupled pulse.
-    let ok = null_modes
-        .iter()
-        .all(|&p| pulse_alpha(&segments, modes.frequencies()[p]).norm() < 1e-8);
+    let ok =
+        null_modes.iter().all(|&p| pulse_alpha(&segments, modes.frequencies()[p]).norm() < 1e-8);
     ok.then_some(segments)
 }
 
@@ -361,10 +355,7 @@ pub fn eq1_fidelity_for_pair(
     ion_j: usize,
 ) -> f64 {
     let modes = chain.transverse_modes(anisotropy);
-    let omega_com = *modes
-        .frequencies()
-        .last()
-        .expect("chain has at least one mode");
+    let omega_com = *modes.frequencies().last().expect("chain has at least one mode");
     let eta = modes.lamb_dicke(eta_ref, omega_com);
     let alpha2 = pulse_alpha_sqr(segments, &modes);
     let eta_i: Vec<f64> = eta.iter().map(|row| row[ion_i]).collect();
@@ -454,8 +445,8 @@ mod tests {
         let eta = modes.lamb_dicke(0.1, 1.0);
         // COM mode: η = 0.1·(1/√3)·√(1/1) per ion.
         let expect = 0.1 / 3.0f64.sqrt();
-        for i in 0..3 {
-            assert!((eta[0][i].abs() - expect).abs() < 1e-9);
+        for e in &eta[0] {
+            assert!((e.abs() - expect).abs() < 1e-9);
         }
         // Higher modes have smaller √(ω_ref/ω_p) factors.
         assert!(eta[1][0].abs() < eta[0][0].abs() + 1e-12);
@@ -519,9 +510,8 @@ mod tests {
             assert!(a.norm() < 1e-8, "mode {p} residual {}", a.norm());
         }
         // Non-nulled modes generically keep residuals.
-        let leftover: f64 = (0..6)
-            .map(|p| pulse_alpha(&pulse, modes.frequencies()[p]).norm())
-            .sum();
+        let leftover: f64 =
+            (0..6).map(|p| pulse_alpha(&pulse, modes.frequencies()[p]).norm()).sum();
         assert!(leftover > 1e-6);
     }
 

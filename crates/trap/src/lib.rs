@@ -7,6 +7,8 @@
 //! ion-chain physics — equilibrium, normal modes, Lamb–Dicke couplings,
 //! pulse decoupling residuals — feeding the paper's Eq. (1) ([`chain`]).
 
+#![warn(missing_docs)]
+
 pub mod chain;
 pub mod duty;
 pub mod machine;

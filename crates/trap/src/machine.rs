@@ -157,10 +157,7 @@ impl VirtualTrap {
     ///
     /// Panics if the coupling does not exist on this machine.
     pub fn true_under_rotation(&self, coupling: Coupling) -> f64 {
-        *self
-            .calibration
-            .get(&coupling)
-            .expect("coupling not on this machine")
+        *self.calibration.get(&coupling).expect("coupling not on this machine")
     }
 
     /// Sets the miscalibration of one coupling (the paper's "artificially
@@ -170,10 +167,7 @@ impl VirtualTrap {
     ///
     /// Panics if the coupling does not exist on this machine.
     pub fn inject_fault(&mut self, coupling: Coupling, under_rotation: f64) {
-        let slot = self
-            .calibration
-            .get_mut(&coupling)
-            .expect("coupling not on this machine");
+        let slot = self.calibration.get_mut(&coupling).expect("coupling not on this machine");
         *slot = under_rotation;
     }
 
@@ -204,10 +198,7 @@ impl VirtualTrap {
     pub fn recalibrate(&mut self, coupling: Coupling) {
         let r = self.config.recalibration_residual;
         let residual = if r > 0.0 { self.rng.gen_range(-r..r) } else { 0.0 };
-        let slot = self
-            .calibration
-            .get_mut(&coupling)
-            .expect("coupling not on this machine");
+        let slot = self.calibration.get_mut(&coupling).expect("coupling not on this machine");
         *slot = residual;
         let dt = self.config.recalibration_seconds;
         self.clock_seconds += dt;
@@ -255,11 +246,8 @@ impl VirtualTrap {
     }
 
     fn noise_model(&mut self) -> IonTrapNoise {
-        let faults: Vec<CouplingFault> = self
-            .calibration
-            .iter()
-            .map(|(&c, &u)| CouplingFault::new(c, u))
-            .collect();
+        let faults: Vec<CouplingFault> =
+            self.calibration.iter().map(|(&c, &u)| CouplingFault::new(c, u)).collect();
         let mut model = IonTrapNoise::new()
             .with_coupling_faults(faults)
             .with_amplitude_noise(self.config.amplitude_jitter_std)
@@ -287,10 +275,7 @@ impl VirtualTrap {
         shot_count: usize,
         activity: Activity,
     ) -> BTreeMap<usize, usize> {
-        assert!(
-            circuit.n_qubits() <= self.config.n_qubits,
-            "circuit does not fit the machine"
-        );
+        assert!(circuit.n_qubits() <= self.config.n_qubits, "circuit does not fit the machine");
         let mut model = self.noise_model();
         let mut counts = BTreeMap::new();
         for _ in 0..shot_count {
@@ -473,12 +458,9 @@ mod tests {
     fn randomize_calibration_has_requested_spread() {
         let mut trap = VirtualTrap::new(TrapConfig::ideal(16, 5));
         trap.randomize_calibration(0.10);
-        let mean_abs: f64 = trap
-            .couplings()
-            .iter()
-            .map(|&c| trap.true_under_rotation(c).abs())
-            .sum::<f64>()
-            / trap.couplings().len() as f64;
+        let mean_abs: f64 =
+            trap.couplings().iter().map(|&c| trap.true_under_rotation(c).abs()).sum::<f64>()
+                / trap.couplings().len() as f64;
         assert!((mean_abs - 0.10).abs() < 0.02, "mean |u| = {mean_abs}");
     }
 
@@ -488,11 +470,8 @@ mod tests {
         let mut trap = VirtualTrap::new(TrapConfig::ideal(8, 6));
         let d = OrnsteinUhlenbeckDrift { tau_minutes: 30.0, sigma: 0.05 };
         trap.advance_time(15.0, &d);
-        let moved = trap
-            .couplings()
-            .iter()
-            .filter(|&&c| trap.true_under_rotation(c).abs() > 1e-6)
-            .count();
+        let moved =
+            trap.couplings().iter().filter(|&&c| trap.true_under_rotation(c).abs() > 1e-6).count();
         assert!(moved > 20, "most couplings should have drifted, moved = {moved}");
         assert!(trap.clock_seconds() >= 15.0 * 60.0);
     }

@@ -56,7 +56,12 @@ impl TimingModel {
     }
 
     /// Wall-clock of one circuit execution (a single shot).
-    pub fn circuit_run(&self, n_qubits: usize, two_qubit_gates: usize, one_qubit_gates: usize) -> f64 {
+    pub fn circuit_run(
+        &self,
+        n_qubits: usize,
+        two_qubit_gates: usize,
+        one_qubit_gates: usize,
+    ) -> f64 {
         self.prep
             + self.readout
             + two_qubit_gates as f64 * self.two_qubit_gate(n_qubits)
@@ -65,7 +70,13 @@ impl TimingModel {
 
     /// Wall-clock of `shots` repetitions of the same circuit (no
     /// re-compilation between shots).
-    pub fn shots(&self, n_qubits: usize, two_qubit_gates: usize, one_qubit_gates: usize, shots: usize) -> f64 {
+    pub fn shots(
+        &self,
+        n_qubits: usize,
+        two_qubit_gates: usize,
+        one_qubit_gates: usize,
+        shots: usize,
+    ) -> f64 {
         shots as f64 * self.circuit_run(n_qubits, two_qubit_gates, one_qubit_gates)
     }
 

@@ -37,10 +37,7 @@ fn main() {
             let spec = TestSpec::for_couplings(format!("{class}"), &couplings, reps);
             let hits = trap.run_xx_test(&spec.gates, spec.target, 300, Activity::Testing);
             let f = hits as f64 / 300.0;
-            row.push_str(&format!(
-                " {f:>10.3} {:>8}",
-                if f < thr { "FAIL" } else { "pass" }
-            ));
+            row.push_str(&format!(" {f:>10.3} {:>8}", if f < thr { "FAIL" } else { "pass" }));
         }
         println!("{row}");
     }

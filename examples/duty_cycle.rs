@@ -16,11 +16,11 @@
 //! Run with: `cargo run --release --example duty_cycle`
 
 use itqc::core::cost::CostModel;
-use itqc::core::testplan::ScoreMode;
 use itqc::core::multi_fault::diagnose_all_excluding;
+use itqc::core::testplan::ScoreMode;
 use itqc::prelude::*;
-use std::collections::BTreeSet;
 use itqc_faults::drift::{JumpDrift, OrnsteinUhlenbeckDrift};
+use std::collections::BTreeSet;
 
 const N: usize = 11;
 const HOURS: f64 = 8.0;

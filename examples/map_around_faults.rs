@@ -36,7 +36,11 @@ fn permute(circuit: &Circuit, perm: &[usize]) -> Circuit {
 
 /// Searches (randomised greedy) for a permutation whose used couplings
 /// avoid `faulty`. Returns the permutation if found.
-fn find_mapping(circuit: &Circuit, faulty: &BTreeSet<Coupling>, tries: usize) -> Option<Vec<usize>> {
+fn find_mapping(
+    circuit: &Circuit,
+    faulty: &BTreeSet<Coupling>,
+    tries: usize,
+) -> Option<Vec<usize>> {
     let n = circuit.n_qubits();
     let used = circuit.used_couplings();
     let mut perm: Vec<usize> = (0..n).collect();
@@ -48,9 +52,7 @@ fn find_mapping(circuit: &Circuit, faulty: &BTreeSet<Coupling>, tries: usize) ->
         seed as usize
     };
     for _ in 0..tries {
-        let ok = used
-            .iter()
-            .all(|c| !faulty.contains(&Coupling::new(perm[c.lo()], perm[c.hi()])));
+        let ok = used.iter().all(|c| !faulty.contains(&Coupling::new(perm[c.lo()], perm[c.hi()])));
         if ok {
             return Some(perm);
         }
@@ -133,10 +135,7 @@ fn main() {
     println!("\ndistribution overlap with ideal (higher is better):");
     println!("  naive mapping (uses faulty {bad}):  {f_naive:.3}");
     println!("  remapped around the fault:          {f_mapped:.3}");
-    assert!(
-        f_mapped > f_naive,
-        "mapping around the fault must improve output quality"
-    );
+    assert!(f_mapped > f_naive, "mapping around the fault must improve output quality");
     println!(
         "\nthe faulty coupling stays quarantined until the next scheduled\n\
          recalibration — the machine keeps serving jobs (paper §VIII)."

@@ -35,6 +35,8 @@
 //! assert_eq!(report.diagnosis, Diagnosis::Fault(Coupling::new(2, 6)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub use itqc_circuit as circuit;
 pub use itqc_core as core;
 pub use itqc_faults as faults;
@@ -46,8 +48,8 @@ pub use itqc_trap as trap;
 pub mod prelude {
     pub use itqc_circuit::{Circuit, Coupling, Gate, Op};
     pub use itqc_core::{
-        diagnose_all, Diagnosis, ExactExecutor, LabelSpace, MultiFaultConfig,
-        SingleFaultProtocol, Syndrome, TestExecutor, TestSpec,
+        diagnose_all, Diagnosis, ExactExecutor, LabelSpace, MultiFaultConfig, SingleFaultProtocol,
+        Syndrome, TestExecutor, TestSpec,
     };
     pub use itqc_faults::{CouplingFault, FaultKind, IonTrapNoise, SpamModel};
     pub use itqc_math::Complex64;

@@ -80,8 +80,7 @@ fn exclusion_quarantine_workflow() {
     trap.inject_fault(quarantined, 0.5);
     trap.inject_fault(fresh, 0.35);
     let excl: BTreeSet<Coupling> = [quarantined].into();
-    let report =
-        diagnose_all_excluding(&mut trap, 8, &multi_config(vec![2, 4], 0.5, 0.5), &excl);
+    let report = diagnose_all_excluding(&mut trap, 8, &multi_config(vec![2, 4], 0.5, 0.5), &excl);
     assert!(report.converged);
     assert_eq!(report.couplings(), vec![fresh]);
 }
@@ -130,8 +129,8 @@ fn dense_noise_channels_run_through_trap_circuits() {
     let ghz = itqc::circuit::library::ghz(4);
     let native = itqc::circuit::transpile::to_native_optimized(&ghz);
     let counts = trap.run_circuit(&native, 600, Activity::Jobs);
-    let p_ends = (counts.get(&0).copied().unwrap_or(0)
-        + counts.get(&0b1111).copied().unwrap_or(0)) as f64
+    let p_ends = (counts.get(&0).copied().unwrap_or(0) + counts.get(&0b1111).copied().unwrap_or(0))
+        as f64
         / 600.0;
     assert!(p_ends > 0.7, "GHZ structure should survive realistic noise, got {p_ends}");
 }
@@ -145,14 +144,8 @@ fn baselines_and_protocol_agree_on_diagnosis() {
     let base = itqc::core::baselines::point_check_all(&mut trap, 8, 4, 0.5, 200);
     assert_eq!(base.faulty, vec![truth]);
     // Binary search.
-    let (found, report) = itqc::core::baselines::binary_search_single(
-        &mut trap,
-        8,
-        4,
-        0.5,
-        200,
-        &BTreeSet::new(),
-    );
+    let (found, report) =
+        itqc::core::baselines::binary_search_single(&mut trap, 8, 4, 0.5, 200, &BTreeSet::new());
     assert_eq!(found, Some(truth));
     // Binary search pays an adaptation per test; the paper's protocol
     // needs at most two.

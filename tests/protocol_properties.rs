@@ -1,114 +1,140 @@
 //! Property tests for the paper's §V combinatorics — the lemmas and
 //! theorems, enforced over randomly drawn machine sizes and fault
 //! placements.
+//!
+//! Originally written against `proptest`; rewritten as seeded randomized
+//! sweeps (64 cases per property, mirroring the old
+//! `ProptestConfig::with_cases(64)`) because the workspace builds fully
+//! offline and vendoring proptest's macro DSL is not worth it.
 
-use itqc::core::classes::{
-    decode_pair, first_round_classes, second_round_classes, LabelSpace,
-};
+use itqc::core::classes::{decode_pair, first_round_classes, second_round_classes, LabelSpace};
 use itqc::core::{Diagnosis, ExactExecutor, SingleFaultProtocol, Syndrome};
 use itqc::prelude::Coupling;
 use itqc_math::bits;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy for (n_qubits, coupling) pairs on machines of 4..=32 qubits.
-fn machine_and_coupling() -> impl Strategy<Value = (usize, usize, usize)> {
-    (4usize..=32).prop_flat_map(|n| {
-        (Just(n), 0..n, 0..n).prop_filter("distinct endpoints", |(_, a, b)| a != b)
-    })
+const CASES: u64 = 64;
+
+/// Draws (n_qubits, a, b) with distinct endpoints on machines of 4..=32
+/// qubits.
+fn machine_and_coupling(rng: &mut SmallRng) -> (usize, usize, usize) {
+    let n = rng.gen_range(4usize..=32);
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n);
+    while b == a {
+        b = rng.gen_range(0..n);
+    }
+    (n, a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lemma V.1 + V.3: every non-complementary pair is in at least one
-    /// and at most n−1 first-round classes; complementary pairs in none.
-    #[test]
-    fn lemma_v1_v3_class_coverage((n, a, b) in machine_and_coupling()) {
+/// Lemma V.1 + V.3: every non-complementary pair is in at least one
+/// and at most n−1 first-round classes; complementary pairs in none.
+#[test]
+fn lemma_v1_v3_class_coverage() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1113 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let space = LabelSpace::new(n);
         let nb = space.n_bits();
-        let covering = first_round_classes(&space)
-            .iter()
-            .filter(|c| c.contains(a) && c.contains(b))
-            .count();
+        let covering =
+            first_round_classes(&space).iter().filter(|c| c.contains(a) && c.contains(b)).count();
         if bits::is_complementary(a, b, nb) {
-            prop_assert_eq!(covering, 0);
+            assert_eq!(covering, 0, "case {case}: n={n} pair=({a},{b})");
         } else {
-            prop_assert!(covering >= 1);
-            prop_assert!(covering <= nb as usize - 1);
+            assert!(covering >= 1, "case {case}: n={n} pair=({a},{b})");
+            assert!(covering < nb as usize, "case {case}: n={n} pair=({a},{b})");
         }
     }
+}
 
-    /// Lemma V.2: the complementary classes (i,0)/(i,1) never both
-    /// contain a pair.
-    #[test]
-    fn lemma_v2_partition((n, a, b) in machine_and_coupling()) {
+/// Lemma V.2: the complementary classes (i,0)/(i,1) never both contain a
+/// pair.
+#[test]
+fn lemma_v2_partition() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1120 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let space = LabelSpace::new(n);
         for i in 0..space.n_bits() {
             let in0 = !bits::bit(a, i) && !bits::bit(b, i);
             let in1 = bits::bit(a, i) && bits::bit(b, i);
-            prop_assert!(!(in0 && in1));
+            assert!(!(in0 && in1), "case {case}: n={n} pair=({a},{b}) bit {i}");
         }
     }
+}
 
-    /// Lemma V.9: a length-L syndrome on n bits admits exactly 2^{n−L−1}
-    /// candidate pairs on an unpadded register.
-    #[test]
-    fn lemma_v9_candidate_count(n_bits in 2u32..=6, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
+/// Lemma V.9: a length-L syndrome on n bits admits exactly 2^{n−L−1}
+/// candidate pairs on an unpadded register.
+#[test]
+fn lemma_v9_candidate_count() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1909 + case);
+        let n_bits = rng.gen_range(2u32..=6);
         let n = 1usize << n_bits;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let a = rng.gen_range(0..n);
         let mut b = rng.gen_range(0..n);
-        while b == a { b = rng.gen_range(0..n); }
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
         let syn = Syndrome::of_coupling(Coupling::new(a, b), n_bits);
         let l = syn.len() as u32;
         let cands = syn.candidates(n_bits, n);
-        prop_assert_eq!(cands.len(), 1usize << (n_bits - l - 1));
-        prop_assert!(cands.contains(&Coupling::new(a, b)));
+        assert_eq!(cands.len(), 1usize << (n_bits - l - 1), "case {case}");
+        assert!(cands.contains(&Coupling::new(a, b)), "case {case}");
     }
+}
 
-    /// Theorem V.7 (via decode): syndrome + second-round answers identify
-    /// every pair uniquely, including on padded registers.
-    #[test]
-    fn theorem_v7_decode_round_trip((n, a, b) in machine_and_coupling()) {
+/// Theorem V.7 (via decode): syndrome + second-round answers identify
+/// every pair uniquely, including on padded registers.
+#[test]
+fn theorem_v7_decode_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0707 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let space = LabelSpace::new(n);
         let nb = space.n_bits();
         let truth = Coupling::new(a, b);
         let syn = Syndrome::of_coupling(truth, nb);
         let free = syn.free_positions(nb);
-        let flags: Vec<bool> = free
-            .windows(2)
-            .map(|w| bits::bit(a, w[0]) == bits::bit(a, w[1]))
-            .collect();
-        prop_assert_eq!(decode_pair(&syn, &flags, &space), Some(truth));
+        let flags: Vec<bool> =
+            free.windows(2).map(|w| bits::bit(a, w[0]) == bits::bit(a, w[1])).collect();
+        assert_eq!(decode_pair(&syn, &flags, &space), Some(truth), "case {case}: n={n}");
     }
+}
 
-    /// Theorem V.10 end to end: a planted single fault of detectable
-    /// magnitude is identified on machines of any size, within the
-    /// 3n−1 (+1 verification) test budget and ≤2 adaptations.
-    #[test]
-    fn theorem_v10_protocol_round_trip((n, a, b) in machine_and_coupling()) {
+/// Theorem V.10 end to end: a planted single fault of detectable
+/// magnitude is identified on machines of any size, within the
+/// 3n−1 (+1 verification) test budget and ≤2 adaptations.
+#[test]
+fn theorem_v10_protocol_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1010 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let truth = Coupling::new(a, b);
         let mut exec = ExactExecutor::new(n).with_fault(truth, 0.40);
         let protocol = SingleFaultProtocol::new(n, 4, 0.5, 1);
         let report = protocol.diagnose(&mut exec);
         let nb = LabelSpace::new(n).n_bits() as usize;
-        prop_assert!(report.tests_run() <= 3 * nb, "budget: {} > 3n", report.tests_run());
-        prop_assert!(report.adaptations <= 2);
-        prop_assert_eq!(report.diagnosis, Diagnosis::Fault(truth));
+        assert!(
+            report.tests_run() <= 3 * nb,
+            "case {case}: budget {} > 3n (n={n})",
+            report.tests_run()
+        );
+        assert!(report.adaptations <= 2, "case {case}");
+        assert_eq!(report.diagnosis, Diagnosis::Fault(truth), "case {case}: n={n}");
     }
+}
 
-    /// Corollary V.12: identification is unaffected by excluding an
-    /// arbitrary set of other couplings.
-    #[test]
-    fn corollary_v12_exclusions(
-        (n, a, b) in machine_and_coupling(),
-        excl_seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
+/// Corollary V.12: identification is unaffected by excluding an
+/// arbitrary set of other couplings.
+#[test]
+fn corollary_v12_exclusions() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1212 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let truth = Coupling::new(a, b);
         let space = LabelSpace::new(n);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(excl_seed);
         let excluded: Vec<Coupling> = space
             .all_couplings()
             .into_iter()
@@ -117,26 +143,27 @@ proptest! {
         let mut exec = ExactExecutor::new(n).with_fault(truth, 0.40);
         let protocol = SingleFaultProtocol::new(n, 4, 0.5, 1).exclude(excluded);
         let diagnosis = protocol.diagnose(&mut exec).diagnosis;
-        prop_assert_eq!(diagnosis, Diagnosis::Fault(truth));
+        assert_eq!(diagnosis, Diagnosis::Fault(truth), "case {case}: n={n}");
     }
+}
 
-    /// Second-round classes honour the syndrome's fixed bits and pair the
-    /// consecutive free positions (k−1 tests for k free bits).
-    #[test]
-    fn second_round_structure((n, a, b) in machine_and_coupling()) {
+/// Second-round classes honour the syndrome's fixed bits and pair the
+/// consecutive free positions (k−1 tests for k free bits).
+#[test]
+fn second_round_structure() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2222 + case);
+        let (n, a, b) = machine_and_coupling(&mut rng);
         let space = LabelSpace::new(n);
         let nb = space.n_bits();
         let syn = Syndrome::of_coupling(Coupling::new(a, b), nb);
         let classes = second_round_classes(&syn, &space);
         let free = syn.free_positions(nb);
-        prop_assert_eq!(classes.len(), free.len().saturating_sub(1));
+        assert_eq!(classes.len(), free.len().saturating_sub(1), "case {case}");
         for class in &classes {
             for q in class.members(&space) {
-                prop_assert!(syn.matches(q), "member violates fixed bits");
-                prop_assert_eq!(
-                    bits::bit(q, class.pos_lo),
-                    bits::bit(q, class.pos_hi)
-                );
+                assert!(syn.matches(q), "case {case}: member violates fixed bits");
+                assert_eq!(bits::bit(q, class.pos_lo), bits::bit(q, class.pos_hi), "case {case}");
             }
         }
     }

@@ -1,75 +1,104 @@
 //! Cross-backend equivalence: the commuting-XX analytic engine must agree
 //! with the dense state-vector simulator wherever both apply.
+//!
+//! Originally written against `proptest`; rewritten as seeded randomized
+//! sweeps (48 cases per property, mirroring the old
+//! `ProptestConfig::with_cases(48)`) because the workspace builds fully
+//! offline and vendoring proptest's macro DSL is not worth it.
 
 use itqc::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// A random pure-XX circuit description: (n, gates).
-fn xx_circuit_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
-    (2usize..=9).prop_flat_map(|n| {
-        let gate = (0..n, 0..n, -3.0f64..3.0)
-            .prop_filter("distinct", |(a, b, _)| a != b);
-        (Just(n), prop::collection::vec(gate, 1..14))
-    })
+const CASES: u64 = 48;
+
+/// A random pure-XX circuit description: (n, gates), with 1–13 gates on
+/// distinct qubit pairs of a 2–9 qubit register.
+fn random_xx_circuit(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.gen_range(2usize..=9);
+    let count = rng.gen_range(1usize..14);
+    let mut gates = Vec::with_capacity(count);
+    while gates.len() < count {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            gates.push((a, b, rng.gen_range(-3.0f64..3.0)));
+        }
+    }
+    (n, gates)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn build_both(n: usize, gates: &[(usize, usize, f64)]) -> (Circuit, XxCircuit) {
+    let mut circuit = Circuit::new(n);
+    let mut xx = XxCircuit::new(n);
+    for &(a, b, theta) in gates {
+        circuit.xx(a, b, theta);
+        xx.add_xx(a, b, theta);
+    }
+    (circuit, xx)
+}
 
-    /// Exact-target fidelity agrees between backends on every basis target.
-    #[test]
-    fn fidelity_agreement((n, gates) in xx_circuit_strategy(), target_seed in any::<u64>()) {
-        let mut circuit = Circuit::new(n);
-        let mut xx = XxCircuit::new(n);
-        for &(a, b, theta) in &gates {
-            circuit.xx(a, b, theta);
-            xx.add_xx(a, b, theta);
-        }
+/// Exact-target fidelity agrees between backends on every basis target.
+#[test]
+fn fidelity_agreement() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x51E0 + case);
+        let (n, gates) = random_xx_circuit(&mut rng);
+        let (circuit, xx) = build_both(n, &gates);
         let dense = run(&circuit);
-        let target = (target_seed as usize) & ((1 << n) - 1);
+        let target = rng.gen::<usize>() & ((1 << n) - 1);
         let f_xx = xx.fidelity(target);
         let f_dense = dense.probability(target);
-        prop_assert!((f_xx - f_dense).abs() < 1e-9, "{f_xx} vs {f_dense}");
+        assert!(
+            (f_xx - f_dense).abs() < 1e-9,
+            "case {case}: {f_xx} vs {f_dense} (n={n}, gates={gates:?})"
+        );
     }
+}
 
-    /// Per-qubit marginals agree between the closed form and the dense
-    /// backend.
-    #[test]
-    fn marginal_agreement((n, gates) in xx_circuit_strategy()) {
-        let mut circuit = Circuit::new(n);
-        let mut xx = XxCircuit::new(n);
-        for &(a, b, theta) in &gates {
-            circuit.xx(a, b, theta);
-            xx.add_xx(a, b, theta);
-        }
+/// Per-qubit marginals agree between the closed form and the dense
+/// backend.
+#[test]
+fn marginal_agreement() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3A26 + case);
+        let (n, gates) = random_xx_circuit(&mut rng);
+        let (circuit, xx) = build_both(n, &gates);
         let dense = run(&circuit);
         for q in 0..n {
-            prop_assert!((xx.marginal_one(q) - dense.marginal_one(q)).abs() < 1e-9);
+            assert!(
+                (xx.marginal_one(q) - dense.marginal_one(q)).abs() < 1e-9,
+                "case {case}, qubit {q} (n={n}, gates={gates:?})"
+            );
         }
     }
+}
 
-    /// The state norm is preserved by arbitrary random circuits (unitarity
-    /// of the dense backend under the whole gate set).
-    #[test]
-    fn dense_norm_preservation(seed in any::<u64>(), n in 2usize..=7) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+/// The state norm is preserved by arbitrary random circuits (unitarity
+/// of the dense backend under the whole gate set).
+#[test]
+fn dense_norm_preservation() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4012 + case);
+        let n = rng.gen_range(2usize..=7);
         let circuit = itqc::circuit::library::random_circuit(n, 4, &mut rng);
         let s = run(&circuit);
-        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+        assert!((s.norm() - 1.0).abs() < 1e-9, "case {case}, n={n}");
     }
+}
 
-    /// Transpiled circuits are unitarily equivalent to their sources
-    /// (global phase aside), checked through state overlap.
-    #[test]
-    fn transpile_equivalence(seed in any::<u64>(), n in 2usize..=5) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+/// Transpiled circuits are unitarily equivalent to their sources
+/// (global phase aside), checked through state overlap.
+#[test]
+fn transpile_equivalence() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7157 + case);
+        let n = rng.gen_range(2usize..=5);
         let circuit = itqc::circuit::library::random_circuit(n, 3, &mut rng);
         let native = itqc::circuit::transpile::to_native_optimized(&circuit);
         let s1 = run(&circuit);
         let s2 = run(&native);
-        prop_assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-8);
+        assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-8, "case {case}, n={n}");
     }
 }
 
