@@ -1,6 +1,9 @@
 //! Minimal CLI-argument parsing for the harness binaries.
 
-/// Common harness options: `--trials=N  --seed=S  --threads=N  --csv  --fast`.
+use itqc_core::DecoderPolicy;
+
+/// Common harness options:
+/// `--trials=N  --seed=S  --threads=N  --decoder=P  --csv  --fast`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
@@ -10,6 +13,9 @@ pub struct Args {
     /// Worker threads for the parallel trial engine; `0` = all
     /// available cores. Results are identical at any thread count.
     pub threads: usize,
+    /// Multi-fault decoder policy override (`greedy|ranked|set-cover`);
+    /// `None` keeps each binary's paper default (ranked).
+    pub decoder: Option<DecoderPolicy>,
     /// Emit CSV after the human-readable tables.
     pub csv: bool,
     /// Shrink workloads for smoke testing.
@@ -22,8 +28,14 @@ impl Args {
     /// Unknown arguments are ignored (forward compatibility); malformed
     /// values fall back to the defaults.
     pub fn parse(default_trials: usize) -> Self {
-        let mut out =
-            Args { trials: default_trials, seed: 20220402, threads: 0, csv: false, fast: false };
+        let mut out = Args {
+            trials: default_trials,
+            seed: 20220402,
+            threads: 0,
+            decoder: None,
+            csv: false,
+            fast: false,
+        };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--trials=") {
                 if let Ok(n) = v.parse() {
@@ -36,6 +48,10 @@ impl Args {
             } else if let Some(v) = arg.strip_prefix("--threads=") {
                 if let Ok(t) = v.parse() {
                     out.threads = t;
+                }
+            } else if let Some(v) = arg.strip_prefix("--decoder=") {
+                if let Ok(p) = v.parse() {
+                    out.decoder = Some(p);
                 }
             } else if arg == "--csv" {
                 out.csv = true;
@@ -58,6 +74,13 @@ impl Args {
         crate::par_trials::resolve_threads(self.threads)
     }
 
+    /// The decoder policy, defaulting to the paper-reproduction default
+    /// (the likelihood-ranked aliasing decoder) when `--decoder=` was
+    /// not given.
+    pub fn decoder(&self) -> DecoderPolicy {
+        self.decoder.unwrap_or(DecoderPolicy::Ranked)
+    }
+
     /// A deterministic per-configuration seed derived from the master
     /// seed, so adding configurations does not reshuffle earlier ones.
     pub fn seed_for(&self, tag: &str) -> u64 {
@@ -75,18 +98,30 @@ impl Args {
 mod tests {
     use super::*;
 
+    fn args() -> Args {
+        Args { trials: 10, seed: 1, threads: 0, decoder: None, csv: false, fast: false }
+    }
+
     #[test]
     fn per_config_seeds_differ() {
-        let a = Args { trials: 10, seed: 1, threads: 0, csv: false, fast: false };
+        let a = args();
         assert_ne!(a.seed_for("fig8/n=8"), a.seed_for("fig8/n=16"));
         assert_eq!(a.seed_for("x"), a.seed_for("x"));
     }
 
     #[test]
     fn threads_zero_resolves_to_at_least_one() {
-        let a = Args { trials: 1, seed: 1, threads: 0, csv: false, fast: false };
+        let a = args();
         assert!(a.threads() >= 1);
         let b = Args { threads: 8, ..a };
         assert_eq!(b.threads(), 8);
+    }
+
+    #[test]
+    fn decoder_defaults_to_ranked() {
+        assert_eq!(args().decoder(), DecoderPolicy::Ranked);
+        let b = Args { decoder: Some(DecoderPolicy::Greedy), ..args() };
+        assert_eq!(b.decoder(), DecoderPolicy::Greedy);
+        assert_eq!("set-cover".parse::<DecoderPolicy>(), Ok(DecoderPolicy::SetCoverFallback));
     }
 }

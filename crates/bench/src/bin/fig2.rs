@@ -10,117 +10,15 @@
 //! * **Test-driven recalibration** (this paper): a cheap canary runs every
 //!   minute; on failure the log-many-test diagnosis runs and only the
 //!   diagnosed couplings are recalibrated.
+//!
+//! The policy implementations live in [`itqc_bench::duty_cycle`], shared
+//! with the tier-2 statistical regression suite.
 
+use itqc_bench::duty_cycle::{
+    jobs_share_excluding_idle, mean_duty, periodic_policy, test_driven_policy,
+};
 use itqc_bench::output::{pct, section, Table};
-use itqc_bench::{par_map, Args};
-use itqc_core::cost::CostModel;
-use itqc_core::{diagnose_all, MultiFaultConfig};
-use itqc_faults::drift::JumpDrift;
-use itqc_faults::drift::OrnsteinUhlenbeckDrift;
-use itqc_trap::{Activity, TrapConfig, VirtualTrap};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-const N: usize = 11;
-const HOURS: f64 = 24.0;
-const JOB_SECONDS: f64 = 30.0; // one customer batch between maintenance slots
-
-fn drift() -> JumpDrift {
-    JumpDrift {
-        base: OrnsteinUhlenbeckDrift { tau_minutes: 240.0, sigma: 0.03 },
-        jumps_per_minute: 0.0006, // ~2 large faults per machine-day across 55 couplings
-        jump_scale: 0.30,
-    }
-}
-
-/// Policy A: full point-check characterisation + recalibration of every
-/// coupling every `cadence_min` minutes.
-fn periodic_policy(seed: u64, cadence_min: f64) -> VirtualTrap {
-    let mut trap = VirtualTrap::new(TrapConfig::ideal(N, seed));
-    let model = CostModel::paper_defaults();
-    let d = drift();
-    let mut t = 0.0;
-    while t < HOURS * 60.0 {
-        // Jobs until the next maintenance slot (drift accrues while the
-        // machine works; the time is billed to jobs, not idle).
-        let mut job_t = 0.0;
-        while job_t < cadence_min {
-            trap.bill_job_time(JOB_SECONDS);
-            trap.apply_drift(JOB_SECONDS / 60.0, &d);
-            job_t += JOB_SECONDS / 60.0;
-        }
-        // Full characterisation of all couplings (billed as testing) plus
-        // recalibration of each.
-        let check = model.point_check_time(N);
-        trap.bill_test_time(check);
-        for c in trap.couplings() {
-            trap.recalibrate(c);
-        }
-        t += cadence_min + check / 60.0;
-    }
-    trap
-}
-
-/// Policy B: canary every minute; full diagnosis + targeted recalibration
-/// when it trips.
-fn test_driven_policy(seed: u64) -> VirtualTrap {
-    let mut trap = VirtualTrap::new(TrapConfig::ideal(N, seed));
-    let d = drift();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
-    let config = MultiFaultConfig {
-        reps_ladder: vec![2, 4],
-        threshold: 0.5,
-        canary_threshold: 0.4,
-        shots: 300,
-        canary_shots: 30,
-        max_faults: 6,
-        use_cover_fallback: true,
-        score: itqc_core::testplan::ScoreMode::ExactTarget,
-        canary_score: itqc_core::testplan::ScoreMode::ExactTarget,
-        max_threshold_retunes: 4,
-        fault_magnitude: 0.10,
-    };
-    let mut minutes = 0.0;
-    while minutes < HOURS * 60.0 {
-        // One minute of jobs (drift accrues during them)…
-        for _ in 0..2 {
-            trap.bill_job_time(JOB_SECONDS);
-        }
-        trap.apply_drift(1.0, &d);
-        minutes += 1.0;
-        // …then the canary (rolled into diagnose_all's first test).
-        let report = diagnose_all(&mut trap, N, &config);
-        for dfault in &report.diagnosed {
-            trap.recalibrate(dfault.coupling);
-        }
-        // Occasional deliberate spot audit keeps the comparison fair.
-        if rng.gen::<f64>() < 0.001 {
-            let _ = trap.snapshot_under_rotations(100);
-        }
-    }
-    trap
-}
-
-/// Mean seconds per activity (in `Activity::ALL` order) over `trials`
-/// independent simulated days, run on the parallel trial engine. Each
-/// trial owns its seed, so the result is identical at any `--threads`
-/// count.
-fn mean_duty(
-    args: &Args,
-    tag: &str,
-    run: impl Fn(u64) -> VirtualTrap + Sync,
-) -> [f64; Activity::ALL.len()] {
-    let traps =
-        par_map(args.threads, args.trials, |t| run(args.seed_for(&format!("{tag}/trial{t}"))));
-    let mut mean = [0.0f64; Activity::ALL.len()];
-    for trap in &traps {
-        let d = trap.duty();
-        for (acc, &a) in mean.iter_mut().zip(Activity::ALL.iter()) {
-            *acc += d.seconds(a) / traps.len() as f64;
-        }
-    }
-    mean
-}
+use itqc_bench::Args;
 
 fn main() {
     let args = Args::parse(8);
@@ -130,8 +28,18 @@ fn main() {
     println!("(mean over {} simulated machine-days per policy)\n", args.trials);
     eprintln!("[fig2] running on {} thread(s)", args.threads());
 
-    let periodic = mean_duty(&args, "fig2/periodic", |seed| periodic_policy(seed, 5.0));
-    let driven = mean_duty(&args, "fig2/driven", test_driven_policy);
+    let periodic = mean_duty(
+        args.threads,
+        args.trials,
+        |t| args.seed_for(&format!("fig2/periodic/trial{t}")),
+        |seed| periodic_policy(seed, 5.0),
+    );
+    let driven = mean_duty(
+        args.threads,
+        args.trials,
+        |t| args.seed_for(&format!("fig2/driven/trial{t}")),
+        test_driven_policy,
+    );
 
     let mut t = Table::new(["policy", "jobs", "testing", "calibration", "adaptation", "idle"]);
     for (name, secs) in [("periodic full recal", &periodic), ("test-driven (ours)", &driven)] {
@@ -147,15 +55,14 @@ fn main() {
          shrinks the maintenance share by testing first and recalibrating\n\
          only diagnosed couplings."
     );
-    let pos = |a: Activity| Activity::ALL.iter().position(|&x| x == a).unwrap();
     for (name, secs) in [("periodic", &periodic), ("test-driven", &driven)] {
-        let jobs = secs[pos(Activity::Jobs)];
-        let nonidle: f64 = secs.iter().sum::<f64>() - secs[pos(Activity::Idle)];
-        if nonidle > 0.0 {
+        // The helper returns 0 for an all-idle day (nothing to report).
+        let jobs = jobs_share_excluding_idle(secs);
+        if jobs > 0.0 {
             println!(
                 "{name} policy, excluding idle: jobs {} / maintenance {}",
-                pct(jobs / nonidle),
-                pct(1.0 - jobs / nonidle),
+                pct(jobs),
+                pct(1.0 - jobs),
             );
         }
     }

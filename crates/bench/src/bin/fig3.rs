@@ -10,55 +10,13 @@
 //! noise levels are derived from the 11-ion chain's mode structure via the
 //! paper's Eq. (1).
 
+//! The sequence builder, noise model, and chain-derived residuals live
+//! in [`itqc_bench::echo`], shared with the tier-2 statistical
+//! regression suite.
+
+use itqc_bench::echo::{chain_residuals, infidelity, FIG3_CALIB, FIG3_PAIRS, FIG3_PHASE_RMS};
 use itqc_bench::output::{f3, section, Table};
 use itqc_bench::{par_trials, Args};
-use itqc_circuit::Circuit;
-use itqc_circuit::Coupling;
-use itqc_faults::models::CouplingFault;
-use itqc_faults::phase_noise::OneOverF;
-use itqc_faults::IonTrapNoise;
-use itqc_sim::trajectory::run_trajectory;
-use itqc_sim::{run, StateVector};
-use itqc_trap::chain::{eq1_fidelity_for_pair, IonChain, PulseSegment};
-use rand::rngs::SmallRng;
-use std::f64::consts::{FRAC_PI_2, PI};
-
-/// Builds the K-gate sequence on a 2-qubit register; `echoed` shifts one
-/// ion's phase by π on every other gate.
-fn sequence(k: usize, echoed: bool) -> Circuit {
-    let mut c = Circuit::new(2);
-    for g in 0..k {
-        let phi1 = if echoed && g % 2 == 1 { PI } else { 0.0 };
-        c.ms(0, 1, FRAC_PI_2, phi1, 0.0);
-    }
-    c
-}
-
-/// Average infidelity of the noisy sequence against its ideal output.
-fn infidelity(
-    k: usize,
-    echoed: bool,
-    calib_error: f64,
-    phase_rms: f64,
-    residual_odd: f64,
-    trials: usize,
-    rng: &mut SmallRng,
-) -> f64 {
-    let circuit = sequence(k, echoed);
-    let ideal: StateVector = run(&circuit);
-    let mut model = IonTrapNoise::new()
-        .with_coupling_fault(CouplingFault::new(Coupling::new(0, 1), calib_error))
-        .with_residual_coupling(residual_odd);
-    if phase_rms > 0.0 {
-        model = model.with_phase_noise(OneOverF::new(phase_rms, 1.0, 8), 0.2);
-    }
-    let mut acc = 0.0;
-    for _ in 0..trials {
-        let noisy = run_trajectory(&circuit, &mut model, rng);
-        acc += 1.0 - noisy.fidelity(&ideal);
-    }
-    acc / trials as f64
-}
 
 fn main() {
     let args = Args::parse(200);
@@ -67,25 +25,13 @@ fn main() {
     // Pair-dependent noise magnitudes from the chain physics: the residual
     // bus coupling of each pair follows Eq. (1) with a pulse tuned to the
     // transverse COM mode.
-    let chain = IonChain::new(11);
-    let anisotropy: f64 = 25.0;
-    let omega_com = anisotropy.sqrt();
-    let tau = 2.0 * PI / omega_com * 40.0;
-    let pulse = [PulseSegment { amplitude: 0.05, duration: tau * 1.004 }];
-    let pairs = [(3usize, 8usize), (0usize, 10usize)];
+    let residuals = chain_residuals();
     println!("chain-derived Eq.(1) per-pair residual infidelity:");
-    let mut residuals = Vec::new();
-    for &(i, j) in &pairs {
-        let f = eq1_fidelity_for_pair(&chain, anisotropy, 0.08, &pulse, i, j);
-        let odd = (1.0 - f).clamp(0.0, 0.05);
-        println!("    pair {{{i},{j}}}: Eq.(1) fidelity {:.4} -> odd-population {:.4}", f, odd);
-        residuals.push(odd);
+    for (&(i, j), &odd) in FIG3_PAIRS.iter().zip(residuals.iter()) {
+        println!("    pair {{{i},{j}}}: Eq.(1) odd-population {odd:.4}");
     }
-    // Deterministic calibration offsets differ per pair (edge pairs couple
-    // to more spectator modes — {0,10} is taken slightly worse, matching
-    // the ordering visible in the paper's data).
-    let calib = [0.012, 0.020];
-    let phase_rms = 0.05;
+    let calib = FIG3_CALIB;
+    let phase_rms = FIG3_PHASE_RMS;
 
     let mut table =
         Table::new(["gates", "{3,8} no-echo", "{3,8} echo", "{0,10} no-echo", "{0,10} echo"]);

@@ -84,7 +84,8 @@ fn main() {
         shots: 300,
         canary_shots: 300,
         max_faults: 5,
-        use_cover_fallback: false,
+        decoder: itqc_core::DecoderPolicy::Ranked,
+        ranked_sigma: itqc_core::threshold::observation_sigma(300, 0.02, 8),
         score: itqc_core::testplan::ScoreMode::ExactTarget,
         canary_score: itqc_core::testplan::ScoreMode::ExactTarget,
         max_threshold_retunes: 4,

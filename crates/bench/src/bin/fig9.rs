@@ -36,6 +36,7 @@ fn trial<R: Rng + ?Sized>(
     sigma: f64,
     base_reps: usize,
     threshold: f64,
+    decoder: itqc_core::DecoderPolicy,
     rng: &mut R,
 ) -> bool {
     let space = LabelSpace::new(n);
@@ -61,7 +62,9 @@ fn trial<R: Rng + ?Sized>(
         shots: SHOTS,
         canary_shots: SHOTS,
         max_faults: k + 2,
-        use_cover_fallback: false,
+        decoder,
+        // Shot-sampled scores over a ±6% uniform ambient body.
+        ranked_sigma: itqc_core::threshold::observation_sigma(SHOTS, 0.03, base_reps),
         score: SCORE,
         canary_score: SCORE,
         max_threshold_retunes: 4,
@@ -74,7 +77,10 @@ fn trial<R: Rng + ?Sized>(
 
 fn main() {
     let args = Args::parse(60);
-    section("Fig. 9: P(identify k largest faults) vs composite-law spread sigma");
+    let decoder = args.decoder();
+    section(&format!(
+        "Fig. 9: P(identify k largest faults) vs composite-law spread sigma ({decoder} decoder)"
+    ));
 
     let sigmas = [0.02, 0.05, 0.08, 0.11, 0.15, 0.20];
 
@@ -119,7 +125,7 @@ fn main() {
                 let mut cells = vec![format!("{sigma:.2}")];
                 for k in 1..=3usize {
                     let ok = (0..args.trials)
-                        .filter(|_| trial(n, k, sigma, reps, threshold, &mut rng))
+                        .filter(|_| trial(n, k, sigma, reps, threshold, decoder, &mut rng))
                         .count();
                     cells.push(f3(ok as f64 / args.trials as f64));
                 }

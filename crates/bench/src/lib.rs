@@ -24,12 +24,16 @@
 
 pub mod ambient;
 pub mod args;
+pub mod duty_cycle;
+pub mod echo;
 pub mod output;
 pub mod par_trials;
+pub mod protocol_stats;
 pub mod shot_exec;
 
 pub use ambient::ambient_executor;
 pub use args::Args;
 pub use output::Table;
 pub use par_trials::{par_map, par_trials, split_seed};
+pub use protocol_stats::table2_identification_rate;
 pub use shot_exec::ShotSampled;

@@ -88,6 +88,15 @@ impl SubcubeClass {
         bits::bit(label, self.bit) == self.value
     }
 
+    /// `true` when both endpoints of `coupling` belong to the class,
+    /// i.e. the coupling appears in this class's test circuit (and a
+    /// fault on it degrades this test's score) — the membership relation
+    /// behind the ranked decoder's forward model.
+    pub fn contains_coupling(&self, coupling: Coupling) -> bool {
+        let (a, b) = coupling.endpoints();
+        self.contains(a) && self.contains(b)
+    }
+
     /// The physical member labels, ascending.
     pub fn members(&self, space: &LabelSpace) -> Vec<usize> {
         (0..space.n_qubits()).filter(|&q| self.contains(q)).collect()

@@ -128,6 +128,42 @@ pub fn point_test_fidelity(u: f64, reps: usize) -> f64 {
     (missing / 2.0).cos().powi(2)
 }
 
+/// Forward model of the ranked aliasing decoder: the score a class test
+/// is predicted to produce when exactly the couplings in `faulty` (all
+/// members of the class) carry under-rotation `u`.
+///
+/// * [`ScoreMode::ExactTarget`] — the product `∏ cos²(reps·u·π/4)` of
+///   the per-fault point fidelities. For even `reps` every healthy
+///   coupling contributes an exact bit-flip, so the residual rotations
+///   of the faulty couplings are all that remains; their flip patterns
+///   are distinct whenever the faulty couplings do not close a cycle,
+///   which makes the product *exact* for any one or two faults per
+///   class and a truncation (cycles interfere) only from three up —
+///   that truncation error is part of the observation noise budget
+///   ([`crate::threshold::observation_sigma`]).
+/// * [`ScoreMode::WorstQubit`] — exact for any fault multiset: the
+///   qubit marginal `⟨Z_q⟩` multiplies `cos(reps·u·π/2)` per incident
+///   fault, so the worst agreement is `(1 + c^{d_q})/2` minimised over
+///   the per-qubit incident-fault counts `d_q`.
+pub fn predicted_class_score(faulty: &[Coupling], u: f64, reps: usize, score: ScoreMode) -> f64 {
+    if faulty.is_empty() {
+        return 1.0;
+    }
+    match score {
+        ScoreMode::ExactTarget => point_test_fidelity(u, reps).powi(faulty.len() as i32),
+        ScoreMode::WorstQubit => {
+            let c = (reps as f64 * u * FRAC_PI_2).cos();
+            let mut degree: BTreeMap<usize, i32> = BTreeMap::new();
+            for f in faulty {
+                let (a, b) = f.endpoints();
+                *degree.entry(a).or_insert(0) += 1;
+                *degree.entry(b).or_insert(0) += 1;
+            }
+            degree.values().map(|&d| (1.0 + c.powi(d)) / 2.0).fold(1.0, f64::min)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,11 +14,22 @@
 //!   Theorem V.10, including the footnote-9 verification round.
 //! * [`multi_fault`] — the Fig. 5 diagnosis loop: canary, magnitude
 //!   separation via repetition ladder, sequential isolation by exclusion
-//!   (Corollary V.12), plus an optional set-cover fallback.
-//! * [`decoder`] — multi-fault syndrome aliasing analysis (Table II).
+//!   (Corollary V.12). Equal-magnitude collisions are disambiguated per
+//!   [`decoder::DecoderPolicy`]: the greedy threshold peel, the
+//!   likelihood-ranked aliasing decoder (default — candidate covers of
+//!   the failing set ranked by posterior under the ambient observation
+//!   model), or the set-cover + point-verification fallback extension.
+//! * [`decoder`] — multi-fault syndrome aliasing analysis (Table II):
+//!   exact cover enumeration plus the posterior scoring behind the
+//!   ranked policy ([`decoder::rank_covers`]).
 //! * [`baselines`] — point checks and adaptive binary search (§IV).
 //! * [`cost`] — the Fig. 10 wall-clock model; [`threshold`] — empirical
-//!   pass/fail threshold calibration.
+//!   pass/fail threshold calibration, per-round gap re-calibration, and
+//!   the observation-noise model feeding the ranked posterior.
+//!
+//! Reproducing Table II: `cargo run --release -p itqc-bench --bin table2`
+//! runs the full pipeline with the ranked decoder (pass
+//! `--decoder=greedy|ranked|set-cover` to ablate the policies).
 //!
 //! Protocols talk to hardware through the [`executor::TestExecutor`]
 //! trait, implemented both by the [`itqc_trap::VirtualTrap`] machine and
@@ -53,6 +64,7 @@ pub mod testplan;
 pub mod threshold;
 
 pub use classes::{first_round_classes, second_round_classes, LabelSpace, SubcubeClass};
+pub use decoder::DecoderPolicy;
 pub use executor::{ExactExecutor, TestExecutor};
 pub use multi_fault::{diagnose_all, MultiFaultConfig, MultiFaultReport};
 pub use single_fault::{Diagnosis, DiagnosisReport, SingleFaultProtocol};

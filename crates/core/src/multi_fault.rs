@@ -9,18 +9,31 @@
 //! passes. Costs: `4k + 1` adaptive rounds for `k` faults (paper §V-C).
 //!
 //! When faults of equal magnitude collide (conflicting syndromes), the
-//! paper's pipeline cannot separate them — that residual failure
-//! probability is exactly what Table II quantifies. As an optional
-//! extension beyond the paper (documented in `DESIGN.md`), the
-//! [`set-cover decoder`](crate::decoder) can propose candidate sets whose
-//! members are then point-verified individually; enable it with
-//! [`MultiFaultConfig::use_cover_fallback`].
+//! paper's pipeline cannot separate them by magnitude — that residual
+//! failure probability is exactly what Table II quantifies. How the loop
+//! spends its disambiguation budget on such collisions is governed by
+//! [`MultiFaultConfig::decoder`]:
+//!
+//! * [`DecoderPolicy::Greedy`] — Fig. 5's bare threshold peel
+//!   ([`retune_and_isolate`]-style): retry the single-fault protocol at
+//!   thresholds placed in the observed score gaps and take the first
+//!   verified isolate.
+//! * [`DecoderPolicy::Ranked`] — the likelihood-ranked aliasing decoder
+//!   (the reproduction default): enumerate candidate covers of the
+//!   observed failing set, rank them by posterior under the
+//!   threshold/ambient observation model, and run score-ranked
+//!   disambiguation rounds (one marginal accusation + one magnitude
+//!   verification each, thresholds re-calibrated per round).
+//! * [`DecoderPolicy::SetCoverFallback`] — the greedy peel plus the
+//!   set-cover + point-verification fallback (an extension beyond the
+//!   paper, documented in `DESIGN.md`).
 
-use crate::classes::{first_round_classes, LabelSpace};
-use crate::decoder::{self, FailingSet};
+use crate::classes::{first_round_classes, LabelSpace, SubcubeClass};
+use crate::decoder::{self, CoverModel, DecoderPolicy, FailingSet};
 use crate::executor::TestExecutor;
 use crate::single_fault::{Diagnosis, SingleFaultProtocol};
 use crate::testplan::{ScoreMode, TestSpec};
+use crate::threshold;
 use itqc_circuit::Coupling;
 use std::collections::BTreeSet;
 
@@ -41,9 +54,14 @@ pub struct MultiFaultConfig {
     pub canary_shots: usize,
     /// Abort after this many diagnosed faults (sanity bound).
     pub max_faults: usize,
-    /// Enables the set-cover + point-verification fallback on syndrome
-    /// conflicts (extension beyond the paper's pipeline).
-    pub use_cover_fallback: bool,
+    /// How equal-magnitude syndrome collisions are disambiguated (see
+    /// the module docs and [`DecoderPolicy`]).
+    pub decoder: DecoderPolicy,
+    /// Observation-noise scale of the ranked decoder's posterior — how
+    /// far an observed round-1 score may sit from a candidate cover's
+    /// predicted score and still count as consistent. Calibrate with
+    /// [`crate::threshold::observation_sigma`].
+    pub ranked_sigma: f64,
     /// Pass/fail statistic for every test in the pipeline.
     pub score: ScoreMode,
     /// Pass/fail statistic for the full-coupling canary and magnitude
@@ -64,7 +82,7 @@ pub struct MultiFaultConfig {
 
 impl MultiFaultConfig {
     /// Paper-flavoured defaults: 2-MS and 4-MS tests, 0.5/0.25 thresholds,
-    /// 300 shots, no fallback.
+    /// 300 shots, the ranked aliasing decoder.
     pub fn paper_defaults() -> Self {
         MultiFaultConfig {
             reps_ladder: vec![2, 4],
@@ -73,7 +91,8 @@ impl MultiFaultConfig {
             shots: 300,
             canary_shots: 30,
             max_faults: 8,
-            use_cover_fallback: false,
+            decoder: DecoderPolicy::Ranked,
+            ranked_sigma: threshold::observation_sigma(300, 0.0, 4),
             score: ScoreMode::ExactTarget,
             canary_score: ScoreMode::WorstQubit,
             max_threshold_retunes: 4,
@@ -213,29 +232,52 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                 Diagnosis::MultipleFaultsSuspected => {
                     // Fig. 5: "reduce gate repetitions … the threshold is
                     // adjusted accordingly to maximise the fault vs
-                    // no-fault contrast." Lower the threshold into the
-                    // gaps of the observed score distribution so only the
-                    // largest fault trips tests.
+                    // no-fault contrast." The decoder policy decides how
+                    // that adjustment budget is spent: greedy peel of the
+                    // score gaps, or likelihood-ranked disambiguation.
+                    let mut isolated = None;
                     if config.max_threshold_retunes > 0 {
-                        if let Some(c) = retune_and_isolate(
-                            exec,
-                            n_qubits,
-                            &excluded,
-                            config,
-                            reps,
-                            &report,
-                            &mut tests_run,
-                            &mut adaptations,
-                        ) {
-                            diagnosed.push(DiagnosedFault { coupling: c, reps });
-                            excluded.insert(c);
-                            adaptations += 1;
-                            exec.note_adaptation(1);
-                            progressed = true;
-                            break;
+                        if config.decoder == DecoderPolicy::Ranked {
+                            // Score-ranked disambiguation first: accuse
+                            // only what the cover posterior decisively
+                            // implicates, at no extra class-test cost.
+                            isolated = ranked_isolate(
+                                exec,
+                                &space,
+                                &excluded,
+                                config,
+                                reps,
+                                &report,
+                                &mut tests_run,
+                                &mut adaptations,
+                            );
+                        }
+                        if isolated.is_none() {
+                            // Fig. 5's threshold peel: re-run the
+                            // single-fault protocol at gap thresholds
+                            // (its adaptive round 2 gathers evidence the
+                            // round-1 scores alone do not carry).
+                            isolated = retune_and_isolate(
+                                exec,
+                                n_qubits,
+                                &excluded,
+                                config,
+                                reps,
+                                &report,
+                                &mut tests_run,
+                                &mut adaptations,
+                            );
                         }
                     }
-                    if config.use_cover_fallback {
+                    if let Some(c) = isolated {
+                        diagnosed.push(DiagnosedFault { coupling: c, reps });
+                        excluded.insert(c);
+                        adaptations += 1;
+                        exec.note_adaptation(1);
+                        progressed = true;
+                        break;
+                    }
+                    if config.decoder == DecoderPolicy::SetCoverFallback {
                         let confirmed = cover_fallback(
                             exec,
                             &space,
@@ -310,15 +352,9 @@ fn retune_and_isolate<E: TestExecutor>(
     tests_run: &mut usize,
     adaptations: &mut usize,
 ) -> Option<Coupling> {
-    let mut scores: Vec<f64> = conflicted.tests.iter().map(|t| t.fidelity).collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    scores.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
-    let candidates: Vec<f64> = scores
-        .windows(2)
-        .map(|w| (w[0] + w[1]) / 2.0)
-        .filter(|&t| t < config.threshold)
-        .take(config.max_threshold_retunes)
-        .collect();
+    let scores: Vec<f64> = conflicted.tests.iter().map(|t| t.fidelity).collect();
+    let candidates =
+        threshold::gap_thresholds(&scores, config.threshold, config.max_threshold_retunes);
     for t in candidates {
         *adaptations += 1;
         exec.note_adaptation(0);
@@ -338,6 +374,107 @@ fn retune_and_isolate<E: TestExecutor>(
                 return Some(c);
             }
         }
+    }
+    None
+}
+
+/// How many candidate covers the ranked decoder scores per round.
+const RANKED_COVER_CAP: usize = 96;
+
+/// The likelihood-ranked disambiguation loop (`DecoderPolicy::Ranked`):
+/// the replacement for the greedy equal-magnitude peel.
+///
+/// The conflicted first round already carries the full analog score of
+/// every class test — far more information than the pass/fail pattern
+/// the greedy peel consumes. Each round:
+///
+/// 1. re-calibrates the pass/fail threshold (round 0 uses the configured
+///    threshold; later rounds walk the gaps of the observed score
+///    distribution, [`threshold::gap_thresholds`]),
+/// 2. enumerates candidate covers of the resulting failing set up to the
+///    fault budget ([`decoder::covers_up_to`]),
+/// 3. ranks them by posterior under the ambient observation model
+///    ([`decoder::rank_covers`]) — covers predicting the wrong per-class
+///    fault multiplicities are pushed down even when their pass/fail
+///    pattern matches exactly,
+/// 4. accuses the posterior-marginal-best coupling and point-verifies
+///    its magnitude.
+///
+/// A verified accusation is returned for exclusion (the sequential loop
+/// then re-diagnoses the remainder); a refuted one is vetoed from later
+/// rounds' candidate pools. Like the paper's pipeline, each round costs
+/// one adaptation and one verification test — no extra class tests.
+#[allow(clippy::too_many_arguments)]
+fn ranked_isolate<E: TestExecutor>(
+    exec: &mut E,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+    config: &MultiFaultConfig,
+    reps: usize,
+    conflicted: &crate::single_fault::DiagnosisReport,
+    tests_run: &mut usize,
+    adaptations: &mut usize,
+) -> Option<Coupling> {
+    let classes = first_round_classes(space);
+    if conflicted.tests.len() < classes.len() {
+        return None; // not a round-1 conflict record
+    }
+    let observed: Vec<(SubcubeClass, f64)> =
+        classes.iter().copied().zip(conflicted.tests.iter().map(|t| t.fidelity)).collect();
+    let scores: Vec<f64> = observed.iter().map(|&(_, s)| s).collect();
+    let model = CoverModel::new(reps, config.score, config.ranked_sigma);
+
+    // Round thresholds: the configured one first, then the score gaps.
+    let mut thresholds = vec![config.threshold];
+    thresholds.extend(threshold::gap_thresholds(
+        &scores,
+        config.threshold,
+        config.max_threshold_retunes,
+    ));
+
+    let mut vetoed: BTreeSet<Coupling> = BTreeSet::new();
+    let mut t_idx = 0usize;
+    for _round in 0..config.max_threshold_retunes {
+        let t = thresholds[t_idx.min(thresholds.len() - 1)];
+        let failing: FailingSet = observed
+            .iter()
+            .filter(|&&(_, s)| s < t)
+            .map(|&(class, _)| (class.bit, class.value))
+            .collect();
+        if failing.is_empty() {
+            t_idx += 1;
+            if t_idx >= thresholds.len() {
+                return None; // walk saturated: further rounds are identical
+            }
+            continue;
+        }
+        let mut barred = excluded.clone();
+        barred.extend(vetoed.iter().copied());
+        let covers = decoder::covers_up_to(
+            &failing,
+            space,
+            &barred,
+            config.max_faults.max(1),
+            RANKED_COVER_CAP,
+        );
+        let ranked = decoder::rank_covers(&covers, &observed, &model);
+        let Some(accused) = decoder::consensus_accusation(&ranked) else {
+            // Genuine ambiguity at this threshold: re-calibrate into the
+            // next score gap and re-interpret the failing set.
+            t_idx += 1;
+            if t_idx >= thresholds.len() {
+                return None; // walk saturated: further rounds are identical
+            }
+            continue;
+        };
+        *adaptations += 1;
+        exec.note_adaptation(0);
+        if magnitude_verify(exec, accused, reps, config, tests_run) {
+            return Some(accused);
+        }
+        // A refuted accusation stays at this threshold: the vetoed
+        // coupling leaves the candidate pool and the covers re-rank.
+        vetoed.insert(accused);
     }
     None
 }
@@ -401,7 +538,8 @@ mod tests {
             shots: 1,
             canary_shots: 1,
             max_faults: 6,
-            use_cover_fallback: false,
+            decoder: DecoderPolicy::Greedy,
+            ranked_sigma: crate::threshold::MODEL_ERROR_FLOOR,
             score: ScoreMode::ExactTarget,
             canary_score: ScoreMode::ExactTarget,
             max_threshold_retunes: 0,
@@ -482,10 +620,60 @@ mod tests {
         let b = Coupling::new(1, 3);
         let mut exec = ExactExecutor::new(8).with_fault(a, 0.3).with_fault(b, 0.3);
         let mut cfg = config();
-        cfg.use_cover_fallback = true;
+        cfg.decoder = DecoderPolicy::SetCoverFallback;
         let report = diagnose_all(&mut exec, 8, &cfg);
         assert!(report.converged, "{report:?}");
         assert_eq!(report.couplings(), vec![a, b]);
+    }
+
+    #[test]
+    fn ranked_decoder_resolves_equal_magnitude_collision() {
+        // The same collision, resolved by likelihood ranking alone: no
+        // exhaustive point verification of every implicated coupling,
+        // just score-ranked accusations with per-accusation verification.
+        let a = Coupling::new(0, 2);
+        let b = Coupling::new(1, 3);
+        let mut exec = ExactExecutor::new(8).with_fault(a, 0.3).with_fault(b, 0.3);
+        let mut cfg = config();
+        cfg.decoder = DecoderPolicy::Ranked;
+        cfg.max_threshold_retunes = 4;
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), vec![a, b]);
+    }
+
+    #[test]
+    fn ranked_decoder_never_accuses_healthy_couplings() {
+        // Every diagnosed coupling under the ranked policy passed a
+        // magnitude verification, so even unresolved collisions must not
+        // produce false accusations.
+        let faults = [Coupling::new(0, 1), Coupling::new(2, 3), Coupling::new(4, 5)];
+        let mut exec = ExactExecutor::new(8).with_faults(faults.iter().map(|&c| (c, 0.3)));
+        let mut cfg = config();
+        cfg.decoder = DecoderPolicy::Ranked;
+        cfg.max_threshold_retunes = 4;
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        for d in &report.diagnosed {
+            assert!(faults.contains(&d.coupling), "false accusation {}", d.coupling);
+        }
+    }
+
+    #[test]
+    fn ranked_decoder_matches_greedy_on_spread_magnitudes() {
+        // Magnitude-separated workloads never reach the collision path,
+        // so ranked and greedy must agree exactly there.
+        let big = Coupling::new(0, 4);
+        let small = Coupling::new(2, 5);
+        for decoder in [DecoderPolicy::Greedy, DecoderPolicy::Ranked] {
+            let mut exec = ExactExecutor::new(8).with_fault(big, 0.45).with_fault(small, 0.16);
+            let mut cfg = config();
+            cfg.reps_ladder = vec![2, 4, 8];
+            cfg.decoder = decoder;
+            cfg.max_threshold_retunes = 4;
+            let report = diagnose_all(&mut exec, 8, &cfg);
+            assert!(report.converged, "{decoder}: {report:?}");
+            assert_eq!(report.couplings(), vec![big, small], "{decoder}");
+        }
     }
 
     #[test]

@@ -81,6 +81,39 @@ pub fn detection_margin(u: f64, reps: usize, threshold: f64) -> f64 {
     threshold - crate::executor::point_test_fidelity(u, reps)
 }
 
+/// Floor of the ranked decoder's observation noise: the product forward
+/// model ([`crate::executor::predicted_class_score`]) truncates the
+/// interference of fault *cycles* within one class, so even exact
+/// (shot-free, ambient-free) scores deviate from the prediction by up
+/// to a few points when three or more faults land in one test.
+pub const MODEL_ERROR_FLOOR: f64 = 0.04;
+
+/// The per-test score noise scale the ranked decoder should tolerate:
+/// binomial shot noise (worst case `0.5/√shots`; `shots == 0` means an
+/// exact oracle), the ambient calibration spread's first-order score
+/// shift (`reps·(π/4)·E|u|` per test), and the forward-model truncation
+/// floor, combined in quadrature. This is Fig. 5's "threshold is
+/// adjusted … to maximise the fault vs no-fault contrast" turned into a
+/// calibrated width for the posterior instead of a hand-tuned constant.
+pub fn observation_sigma(shots: usize, ambient_mean_abs: f64, reps: usize) -> f64 {
+    let shot = if shots == 0 { 0.0 } else { 0.5 / (shots as f64).sqrt() };
+    let ambient = reps as f64 * std::f64::consts::FRAC_PI_4 * ambient_mean_abs;
+    (shot * shot + ambient * ambient).sqrt().max(MODEL_ERROR_FLOOR)
+}
+
+/// Candidate re-calibrated thresholds for a disambiguation round:
+/// midpoints of the gaps between the distinct observed scores, ascending,
+/// keeping only values below `below` and at most `max` of them. This is
+/// the per-round threshold adjustment both the greedy peel and the
+/// ranked decoder use — each gap separates one more magnitude band of
+/// the conflicted score distribution.
+pub fn gap_thresholds(scores: &[f64], below: f64, max: usize) -> Vec<f64> {
+    let mut s: Vec<f64> = scores.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    s.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    s.windows(2).map(|w| (w[0] + w[1]) / 2.0).filter(|&t| t < below).take(max).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,8 @@ fn main() {
         shots: 300,
         canary_shots: 100,
         max_faults: 4,
-        use_cover_fallback: false,
+        decoder: itqc::core::decoder::DecoderPolicy::Ranked,
+        ranked_sigma: itqc::core::threshold::observation_sigma(300, 0.0, 4),
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,

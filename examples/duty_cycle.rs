@@ -41,7 +41,8 @@ fn config() -> MultiFaultConfig {
         shots: 300,
         canary_shots: 30,
         max_faults: 6,
-        use_cover_fallback: true,
+        decoder: itqc::core::decoder::DecoderPolicy::SetCoverFallback,
+        ranked_sigma: itqc::core::threshold::observation_sigma(300, 0.0, 4),
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,

@@ -48,8 +48,8 @@ pub use itqc_trap as trap;
 pub mod prelude {
     pub use itqc_circuit::{Circuit, Coupling, Gate, Op};
     pub use itqc_core::{
-        diagnose_all, Diagnosis, ExactExecutor, LabelSpace, MultiFaultConfig, SingleFaultProtocol,
-        Syndrome, TestExecutor, TestSpec,
+        diagnose_all, DecoderPolicy, Diagnosis, ExactExecutor, LabelSpace, MultiFaultConfig,
+        SingleFaultProtocol, Syndrome, TestExecutor, TestSpec,
     };
     pub use itqc_faults::{CouplingFault, FaultKind, IonTrapNoise, SpamModel};
     pub use itqc_math::Complex64;

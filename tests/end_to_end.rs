@@ -14,7 +14,8 @@ fn multi_config(ladder: Vec<usize>, threshold: f64, canary_threshold: f64) -> Mu
         shots: 300,
         canary_shots: 100,
         max_faults: 6,
-        use_cover_fallback: false,
+        decoder: DecoderPolicy::Greedy,
+        ranked_sigma: itqc::core::threshold::observation_sigma(300, 0.0, 4),
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,

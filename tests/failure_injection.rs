@@ -23,7 +23,8 @@ fn catastrophic_drift_fails_gracefully() {
         shots: 100,
         canary_shots: 50,
         max_faults: 5,
-        use_cover_fallback: false,
+        decoder: DecoderPolicy::Greedy,
+        ranked_sigma: itqc::core::threshold::observation_sigma(100, 0.0, 4),
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::WorstQubit,
         max_threshold_retunes: 2,
@@ -110,7 +111,8 @@ fn excluding_every_coupling_is_a_clean_no_op() {
         shots: 50,
         canary_shots: 50,
         max_faults: 3,
-        use_cover_fallback: false,
+        decoder: DecoderPolicy::Greedy,
+        ranked_sigma: itqc::core::threshold::observation_sigma(100, 0.0, 4),
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 0,
