@@ -90,11 +90,13 @@ fn main() {
 
     // ------------------------------------------------------------------
     section("ablation 2+3: disambiguation policy on syndrome collisions (N=8, 2 faults)");
-    let mut t2 = Table::new(["workload", "plain", "greedy peel", "ranked", "set-cover"]);
-    let policies: [(usize, DecoderPolicy); 4] = [
+    let mut t2 =
+        Table::new(["workload", "plain", "greedy peel", "ranked", "interrogate", "set-cover"]);
+    let policies: [(usize, DecoderPolicy); 5] = [
         (0, DecoderPolicy::Greedy),
         (4, DecoderPolicy::Greedy),
         (4, DecoderPolicy::Ranked),
+        (4, DecoderPolicy::Interrogate),
         (4, DecoderPolicy::SetCoverFallback),
     ];
     for (name, u1, u2) in
@@ -124,6 +126,7 @@ fn main() {
                     score: ScoreMode::ExactTarget,
                     canary_score: ScoreMode::WorstQubit,
                     max_threshold_retunes: retunes,
+                    fusion_rounds: 2,
                     fault_magnitude: 0.10,
                 };
                 let report = diagnose_all(&mut exec, 8, &config);
@@ -140,9 +143,10 @@ fn main() {
     println!("{}", t2.render());
     println!(
         "'greedy peel' implements Fig. 5's threshold adjustment; 'ranked' replaces\n\
-         it with the likelihood-ranked aliasing decoder (the reproduction default);\n\
-         the set-cover fallback is this workspace's extension that point-verifies\n\
-         every implicated coupling.\n"
+         it with the likelihood-ranked evidence-fusion decoder (the reproduction\n\
+         default); 'interrogate' and the set-cover fallback are this workspace's\n\
+         extensions that point-test disputed members (targeted) or every\n\
+         implicated coupling (exhaustive).\n"
     );
 
     // ------------------------------------------------------------------

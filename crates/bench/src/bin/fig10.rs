@@ -7,16 +7,22 @@
 //! the adaptive (binary-search) speed-up plateaus around 10³ — the ratio
 //! of per-point-check processing to per-coupling compile time — while the
 //! non-adaptive protocol's speed-up keeps growing as `N²/log N`.
+//!
+//! The cost-model sweep lives in [`itqc_bench::speedup`], shared with the
+//! tier-2 regression suite and run on the parallel trial engine; stdout
+//! is byte-identical at any `--threads` value.
 
 use itqc_bench::output::{section, Table};
+use itqc_bench::speedup::fig10_rows;
 use itqc_bench::Args;
 use itqc_core::cost::CostModel;
 
 fn main() {
     let args = Args::parse(1);
     section("Fig. 10: testing strategy speed-up vs point checks");
+    eprintln!("[fig10] running on {} thread(s)", args.threads());
 
-    let m = CostModel::paper_defaults();
+    let rows = fig10_rows(args.threads);
     let mut t = Table::new([
         "qubits",
         "point-check (s)",
@@ -25,19 +31,19 @@ fn main() {
         "speedup adaptive",
         "speedup non-adaptive",
     ]);
-    let sizes = [8usize, 11, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
-    for &n in &sizes {
+    for row in &rows {
         t.row([
-            n.to_string(),
-            format!("{:.1}", m.point_check_time(n)),
-            format!("{:.1}", m.adaptive_time(n)),
-            format!("{:.1}", m.non_adaptive_time(n)),
-            format!("{:.1}", m.speedup_adaptive(n)),
-            format!("{:.1}", m.speedup_non_adaptive(n)),
+            row.qubits.to_string(),
+            format!("{:.1}", row.point_check_s),
+            format!("{:.1}", row.adaptive_s),
+            format!("{:.1}", row.non_adaptive_s),
+            format!("{:.1}", row.speedup_adaptive),
+            format!("{:.1}", row.speedup_non_adaptive),
         ]);
     }
     println!("{}", t.render());
 
+    let m = CostModel::paper_defaults();
     println!("paper reference points:");
     println!(
         "  - 11-qubit machine: full characterisation over a minute ({:.0} s here),\n\

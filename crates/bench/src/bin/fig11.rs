@@ -8,85 +8,38 @@
 //! observes the average utilisation scaling like ~1/3 of all couplings —
 //! the headroom that lets circuits be mapped *around* diagnosed faulty
 //! couplings instead of recalibrating immediately (§VIII).
+//!
+//! The suite and census live in [`itqc_bench::coupling_census`], shared
+//! with the tier-2 regression suite; each circuit transpiles on its own
+//! parallel-engine worker, so stdout is byte-identical at any
+//! `--threads` value.
 
+use itqc_bench::coupling_census::{fig11_rows, fraction_by_size, suite_average_fraction};
 use itqc_bench::output::{pct, section, Table};
 use itqc_bench::Args;
-use itqc_circuit::{library, transpile, Circuit};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
-
-fn census(name: &str, circuit: &Circuit) -> (String, usize, usize, f64) {
-    let native = transpile::to_native_optimized(circuit);
-    let n = native.n_qubits();
-    let used = native.used_couplings().len();
-    let total = n * (n - 1) / 2;
-    (name.to_string(), n, used, used as f64 / total as f64)
-}
 
 fn main() {
     let args = Args::parse(1);
     section("Fig. 11: utilised couplings in real-life circuits (native gate set)");
+    eprintln!("[fig11] running on {} thread(s)", args.threads());
 
-    let mut rng = SmallRng::seed_from_u64(args.seed_for("fig11"));
-    let mut rows: Vec<(String, usize, usize, f64)> = Vec::new();
-
-    for n in [4usize, 6, 8, 10, 12, 16, 20, 24, 28, 32] {
-        rows.push(census(&format!("qft-{n}"), &library::qft(n)));
-        rows.push(census(&format!("ghz-{n}"), &library::ghz(n)));
-        rows.push(census(
-            &format!("bv-{}", n - 1),
-            &library::bernstein_vazirani((1 << (n - 1)) - 1, n - 1),
-        ));
-        let edges = library::random_3_regular(n, &mut rng);
-        rows.push(census(
-            &format!("qaoa3r-{n}"),
-            &library::qaoa_maxcut(n, &edges, &[(0.4, 0.8), (0.7, 0.3)]),
-        ));
-        rows.push(census(&format!("vqe-{n}"), &library::vqe_ansatz(n, 2, &[0.3, 0.5, 0.7])));
-        rows.push(census(&format!("ising-{n}"), &library::trotter_ising(n, 3, 1.0, 0.7, 0.1)));
-        if n >= 6 && n % 2 == 0 {
-            let bits = (n - 2) / 2;
-            if bits >= 1 {
-                rows.push(census(&format!("adder-{}b", bits), &library::cuccaro_adder(bits)));
-            }
-        }
-        if n <= 10 {
-            rows.push(census(&format!("grover-{n}"), &library::grover(n.min(6), 1, 2)));
-        }
-        rows.push(census(&format!("wstate-{n}"), &library::w_state(n)));
-        if n <= 12 {
-            rows.push(census(&format!("qpe-{}b", n - 1), &library::phase_estimation(n - 1, 0.3)));
-        }
-        rows.push(census(&format!("random-{n}"), &library::random_circuit(n, 4, &mut rng)));
-    }
-
+    let rows = fig11_rows(args.seed_for("fig11"), args.threads);
     let mut t = Table::new(["circuit", "qubits", "used", "of total", "fraction"]);
-    for (name, n, used, frac) in &rows {
+    for row in &rows {
         t.row([
-            name.clone(),
-            n.to_string(),
-            used.to_string(),
-            (n * (n - 1) / 2).to_string(),
-            pct(*frac),
+            row.name.clone(),
+            row.qubits.to_string(),
+            row.used.to_string(),
+            row.total.to_string(),
+            pct(row.fraction),
         ]);
     }
     println!("{}", t.render());
 
     // Panel-style aggregation by qubit count.
     section("aggregated by circuit size (panels A and B)");
-    let mut by_n: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
-    for (_, n, used, frac) in &rows {
-        by_n.entry(*n).or_default().push((*used, *frac));
-    }
     let mut agg = Table::new(["qubits", "avg used", "total", "avg fraction"]);
-    let mut weighted_frac = 0.0;
-    let mut count = 0usize;
-    for (n, items) in &by_n {
-        let avg_used: f64 = items.iter().map(|(u, _)| *u as f64).sum::<f64>() / items.len() as f64;
-        let avg_frac: f64 = items.iter().map(|(_, f)| *f).sum::<f64>() / items.len() as f64;
-        weighted_frac += items.iter().map(|(_, f)| *f).sum::<f64>();
-        count += items.len();
+    for (n, avg_used, avg_frac) in fraction_by_size(&rows) {
         agg.row([
             n.to_string(),
             format!("{avg_used:.1}"),
@@ -99,7 +52,7 @@ fn main() {
         "suite-average utilised fraction: {} (paper's blue line: ~1/3 of all couplings;\n\
          the exact level depends on the workload mix — chain-structured algorithms pull\n\
          it down, QFT-like all-to-all algorithms pull it up)",
-        pct(weighted_frac / count as f64)
+        pct(suite_average_fraction(&rows))
     );
     if args.csv {
         println!("\n{}", t.to_csv());

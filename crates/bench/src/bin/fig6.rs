@@ -3,73 +3,53 @@
 //! On an 8-qubit machine, 47% and 22% under-rotations are injected on
 //! couplings {0,4} and {0,7} (the paper's §VI experiment). The full
 //! first-round battery runs at 2-MS and 4-MS depth; fidelity thresholds of
-//! 0.45 / 0.25 separate faulty from healthy tests. Panel A is the exact
-//! unitary-error simulation, panel B the 300-shot "experiment" on the
+//! 0.45 / 0.25 separate faulty from healthy tests. Panel A is the
+//! high-statistics simulation, panel B the 300-shot "experiment" on the
 //! virtual machine (10% random amplitude errors on all two-qubit gates, as
 //! in the paper's simulator).
+//!
+//! The battery itself lives in [`itqc_bench::single_output`], shared with
+//! the tier-2 statistical regression suite; every (class, depth) cell runs
+//! on the parallel trial engine, so stdout is byte-identical at any
+//! `--threads` value.
 
 use itqc_bench::output::{f3, section, Table};
+use itqc_bench::single_output::{fig6_battery, fig6_jitter, FIG6_THRESH_2MS, FIG6_THRESH_4MS};
 use itqc_bench::Args;
-use itqc_circuit::Coupling;
-use itqc_core::{first_round_classes, LabelSpace, TestSpec};
 use itqc_math::stats::Histogram;
-use itqc_trap::{Activity, TrapConfig, VirtualTrap};
-use std::collections::BTreeSet;
-
-const N: usize = 8;
-const FAULTS: [(usize, usize, f64); 2] = [(0, 4, 0.47), (0, 7, 0.22)];
-const THRESH_2MS: f64 = 0.45;
-const THRESH_4MS: f64 = 0.25;
-
-fn build_trap(seed: u64, jitter: f64) -> VirtualTrap {
-    let mut cfg = TrapConfig::ideal(N, seed);
-    cfg.amplitude_jitter_std = jitter;
-    let mut trap = VirtualTrap::new(cfg);
-    for (a, b, u) in FAULTS {
-        trap.inject_fault(Coupling::new(a, b), u);
-    }
-    trap
-}
 
 fn main() {
     let args = Args::parse(1);
     section("Fig. 6: tests with artificial 47% ({0,4}) and 22% ({0,7}) under-rotations");
+    eprintln!("[fig6] running on {} thread(s)", args.threads());
 
-    // The paper's simulator uses 10% random amplitude errors per gate.
-    let jitter = 0.10 * (std::f64::consts::PI / 2.0).sqrt();
-    let space = LabelSpace::new(N);
-    let classes = first_round_classes(&space);
-    let none = BTreeSet::new();
-
+    let jitter = fig6_jitter();
     for (panel, shots, label) in [
         ("A (simulation, exact)", 200_000usize, "exact fidelity"),
         ("B (experiment, 300 shots)", 300usize, "300-shot estimate"),
     ] {
         section(&format!("panel {panel}: {label}"));
-        let mut trap = build_trap(args.seed_for(panel), jitter);
+        let rows = fig6_battery(args.seed_for(panel), shots, jitter, args.threads);
         let mut table = Table::new(["test", "couplings", "2MS fid", "2MS", "4MS fid", "4MS"]);
         let mut hist2 = Histogram::new(0.0, 1.0, 10);
         let mut hist4 = Histogram::new(0.0, 1.0, 10);
-        for class in &classes {
-            let couplings = class.couplings(&space, &none);
-            let mut cells = vec![format!("{class}"), couplings.len().to_string()];
-            for (reps, threshold, hist) in
-                [(2usize, THRESH_2MS, &mut hist2), (4usize, THRESH_4MS, &mut hist4)]
-            {
-                let spec = TestSpec::for_couplings(format!("{class}"), &couplings, reps);
-                let hits = trap.run_xx_test(&spec.gates, spec.target, shots, Activity::Testing);
-                let f = hits as f64 / shots as f64;
-                hist.add(f);
-                let verdict = if f < threshold { "FAIL" } else { "pass" };
-                cells.push(f3(f));
-                cells.push(verdict.to_string());
-            }
-            table.row(cells);
+        for row in &rows {
+            let (fail2, fail4) = row.verdicts();
+            hist2.add(row.fid2);
+            hist4.add(row.fid4);
+            table.row([
+                format!("{}", row.class),
+                row.couplings.to_string(),
+                f3(row.fid2),
+                if fail2 { "FAIL" } else { "pass" }.to_string(),
+                f3(row.fid4),
+                if fail4 { "FAIL" } else { "pass" }.to_string(),
+            ]);
         }
         println!("{}", table.render());
-        println!("2-MS fidelity histogram (threshold {THRESH_2MS}):");
+        println!("2-MS fidelity histogram (threshold {FIG6_THRESH_2MS}):");
         println!("{}", hist2.render(30));
-        println!("4-MS fidelity histogram (threshold {THRESH_4MS}):");
+        println!("4-MS fidelity histogram (threshold {FIG6_THRESH_4MS}):");
         println!("{}", hist4.render(30));
         if args.csv {
             println!("{}", table.to_csv());

@@ -68,6 +68,7 @@ fn trial<R: Rng + ?Sized>(
         score: SCORE,
         canary_score: SCORE,
         max_threshold_retunes: 4,
+        fusion_rounds: 2,
         fault_magnitude: 0.10,
     };
     let report = diagnose_all(&mut shot_exec, n, &config);

@@ -6,45 +6,39 @@
 //! single-qubit RB at three rotation-noise levels and reports the fitted
 //! error per Clifford — including one level tuned to land near the paper's
 //! quoted 99.5%.
+//!
+//! The RB sweep lives in [`itqc_bench::rb_stats`], shared with the tier-2
+//! regression suite; the noise levels run on the parallel trial engine,
+//! so stdout is byte-identical at any `--threads` value.
 
 use itqc_bench::output::{f3, section, Table};
+use itqc_bench::rb_stats::rb_summary;
 use itqc_bench::Args;
-use itqc_trap::rb::{single_qubit_rb, RbConfig};
-use itqc_trap::{TrapConfig, VirtualTrap};
 
 fn main() {
     let args = Args::parse(8);
     section("single-qubit randomized benchmarking (paper SII-B)");
+    eprintln!("[rb] running on {} thread(s)", args.threads());
 
+    let rows = rb_summary(args.seed_for("rb"), args.trials, 300, args.threads);
     let mut summary = Table::new([
         "rotation noise (rad)",
         "fitted decay p",
         "error per Clifford",
         "implied 1q fidelity",
     ]);
-    for sigma in [0.02f64, 0.10, 0.20] {
-        let mut cfg = TrapConfig::ideal(2, args.seed_for(&format!("rb/{sigma}")));
-        cfg.one_qubit_jitter_std = sigma;
-        let mut trap = VirtualTrap::new(cfg);
-        let rb_config = RbConfig {
-            qubit: 0,
-            lengths: vec![1, 2, 4, 8, 16, 32, 64],
-            sequences_per_length: args.trials.max(4),
-            shots: 300,
-            seed: args.seed_for(&format!("rb/seq/{sigma}")),
-        };
-        let result = single_qubit_rb(&mut trap, &rb_config);
-        println!("sigma = {sigma}: survival by sequence length");
+    for row in &rows {
+        println!("sigma = {}: survival by sequence length", row.sigma);
         let mut t = Table::new(["m", "survival"]);
-        for (m, f) in result.lengths.iter().zip(&result.survival) {
+        for (m, f) in row.result.lengths.iter().zip(&row.result.survival) {
             t.row([m.to_string(), f3(*f)]);
         }
         println!("{}", t.render());
         summary.row([
-            format!("{sigma}"),
-            f3(result.decay_p),
-            format!("{:.4}", result.error_per_clifford),
-            f3(1.0 - result.error_per_clifford),
+            format!("{}", row.sigma),
+            f3(row.result.decay_p),
+            format!("{:.4}", row.result.error_per_clifford),
+            f3(1.0 - row.result.error_per_clifford),
         ]);
     }
     section("summary");

@@ -18,10 +18,11 @@
 //! |  16    |  100%   |   23%    |    5%    |
 //! |  32    |  100%   |   12%    |    1%    |
 //!
-//! The main table runs the pipeline with the likelihood-ranked aliasing
-//! decoder (`--decoder=ranked`, the reproduction default); a second
-//! section ablates the policy (greedy peel vs ranked vs the set-cover +
-//! point-verification fallback extension) on the 8-qubit cells.
+//! The main table runs the pipeline with the likelihood-ranked
+//! evidence-fusion decoder (`--decoder=ranked`, the reproduction
+//! default); a second section ablates the policy (greedy peel vs ranked
+//! fusion vs the disputed-member interrogation and set-cover +
+//! point-verification fallback extensions) on the 8-qubit cells.
 
 use itqc_bench::output::{pct, section, Table};
 use itqc_bench::{table2_identification_rate, Args};
@@ -55,8 +56,8 @@ fn main() {
     }
     println!("{}", t.render());
 
-    section("decoder-policy ablation, 8 qubits (greedy peel | ranked | set-cover fallback)");
-    let mut t2 = Table::new(["faults", "greedy", "ranked", "set-cover"]);
+    section("decoder-policy ablation, 8 qubits (greedy | ranked | interrogate | set-cover)");
+    let mut t2 = Table::new(["faults", "greedy", "ranked", "interrogate", "set-cover"]);
     for k in 1..=3usize {
         let mut cells = vec![k.to_string()];
         for policy in DecoderPolicy::ALL {
@@ -76,9 +77,10 @@ fn main() {
     println!(
         "expected shape: single faults are always identified; multi-fault\n\
          identification decays with fault count and machine size (syndrome\n\
-         aliasing grows). The ranked decoder closes most of the greedy peel's\n\
-         gap to the paper's 3-fault row by scoring candidate covers against\n\
-         the analog round-1 scores; the set-cover fallback goes beyond the\n\
-         paper's pipeline by point-verifying every implicated coupling."
+         aliasing grows). The ranked evidence-fusion decoder closes the greedy\n\
+         peel's gap to the paper's 3-fault row by accumulating every adaptive\n\
+         round's class scores into a shared cover posterior; the interrogation\n\
+         and set-cover policies go beyond the paper's pipeline by point-testing\n\
+         disputed members (targeted) or every implicated coupling (exhaustive)."
     );
 }

@@ -1,0 +1,204 @@
+//! The Fig. 11 coupling-utilisation census, shared between the `fig11`
+//! binary and the tier-2 regression suite.
+//!
+//! Generates a representative algorithm suite ("real-life quantum
+//! circuits", standing in for the workload set of the paper's ref. 27),
+//! lowers each circuit to the native ion gate set, and counts the
+//! distinct couplings exercised. The paper observes average utilisation
+//! around ~1/3 of all `C(N,2)` couplings — the headroom that lets
+//! circuits be mapped *around* diagnosed faulty couplings instead of
+//! recalibrating immediately (§VIII).
+//!
+//! Each suite entry transpiles independently on [`crate::par_map`] with
+//! its own [`split_seed`] stream for the randomised circuits, so the
+//! census is bit-identical at any thread count.
+
+use crate::{par_map, split_seed};
+use itqc_circuit::{library, transpile, Circuit};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The qubit counts the suite sweeps.
+pub const FIG11_SIZES: [usize; 10] = [4, 6, 8, 10, 12, 16, 20, 24, 28, 32];
+
+/// One circuit of the census suite (deterministic descriptor; the
+/// randomised entries carry their own seed stream).
+#[derive(Clone, Debug)]
+pub enum CircuitSpec {
+    /// Quantum Fourier transform on `n` qubits.
+    Qft(usize),
+    /// GHZ state preparation on `n` qubits.
+    Ghz(usize),
+    /// Bernstein–Vazirani with an all-ones secret on `bits` bits.
+    BernsteinVazirani(usize),
+    /// 2-layer QAOA MaxCut on a random 3-regular graph of `n` nodes.
+    Qaoa3Regular(usize),
+    /// 2-layer hardware-efficient VQE ansatz on `n` qubits.
+    Vqe(usize),
+    /// 3-step Trotterised transverse-field Ising evolution.
+    Ising(usize),
+    /// Cuccaro ripple-carry adder on `bits`-bit operands.
+    Adder(usize),
+    /// Grover search (capped at 6 qubits, 1 iteration).
+    Grover(usize),
+    /// W-state preparation on `n` qubits.
+    WState(usize),
+    /// Phase estimation with `bits` counting bits.
+    PhaseEstimation(usize),
+    /// Depth-4 random circuit on `n` qubits.
+    Random(usize),
+}
+
+impl CircuitSpec {
+    /// Display name matching the binary's table rows.
+    pub fn name(&self) -> String {
+        match *self {
+            CircuitSpec::Qft(n) => format!("qft-{n}"),
+            CircuitSpec::Ghz(n) => format!("ghz-{n}"),
+            CircuitSpec::BernsteinVazirani(bits) => format!("bv-{bits}"),
+            CircuitSpec::Qaoa3Regular(n) => format!("qaoa3r-{n}"),
+            CircuitSpec::Vqe(n) => format!("vqe-{n}"),
+            CircuitSpec::Ising(n) => format!("ising-{n}"),
+            CircuitSpec::Adder(bits) => format!("adder-{bits}b"),
+            CircuitSpec::Grover(n) => format!("grover-{n}"),
+            CircuitSpec::WState(n) => format!("wstate-{n}"),
+            CircuitSpec::PhaseEstimation(bits) => format!("qpe-{bits}b"),
+            CircuitSpec::Random(n) => format!("random-{n}"),
+        }
+    }
+
+    /// Builds the circuit; `rng` feeds only the randomised entries.
+    pub fn build(&self, rng: &mut SmallRng) -> Circuit {
+        match *self {
+            CircuitSpec::Qft(n) => library::qft(n),
+            CircuitSpec::Ghz(n) => library::ghz(n),
+            CircuitSpec::BernsteinVazirani(bits) => {
+                library::bernstein_vazirani((1 << bits) - 1, bits)
+            }
+            CircuitSpec::Qaoa3Regular(n) => {
+                let edges = library::random_3_regular(n, rng);
+                library::qaoa_maxcut(n, &edges, &[(0.4, 0.8), (0.7, 0.3)])
+            }
+            CircuitSpec::Vqe(n) => library::vqe_ansatz(n, 2, &[0.3, 0.5, 0.7]),
+            CircuitSpec::Ising(n) => library::trotter_ising(n, 3, 1.0, 0.7, 0.1),
+            CircuitSpec::Adder(bits) => library::cuccaro_adder(bits),
+            CircuitSpec::Grover(n) => library::grover(n.min(6), 1, 2),
+            CircuitSpec::WState(n) => library::w_state(n),
+            CircuitSpec::PhaseEstimation(bits) => library::phase_estimation(bits, 0.3),
+            CircuitSpec::Random(n) => library::random_circuit(n, 4, rng),
+        }
+    }
+}
+
+/// The full suite, in table order.
+pub fn fig11_specs() -> Vec<CircuitSpec> {
+    let mut specs = Vec::new();
+    for &n in &FIG11_SIZES {
+        specs.push(CircuitSpec::Qft(n));
+        specs.push(CircuitSpec::Ghz(n));
+        specs.push(CircuitSpec::BernsteinVazirani(n - 1));
+        specs.push(CircuitSpec::Qaoa3Regular(n));
+        specs.push(CircuitSpec::Vqe(n));
+        specs.push(CircuitSpec::Ising(n));
+        if n >= 6 && n % 2 == 0 && (n - 2) / 2 >= 1 {
+            specs.push(CircuitSpec::Adder((n - 2) / 2));
+        }
+        if n <= 10 {
+            specs.push(CircuitSpec::Grover(n));
+        }
+        specs.push(CircuitSpec::WState(n));
+        if n <= 12 {
+            specs.push(CircuitSpec::PhaseEstimation(n - 1));
+        }
+        specs.push(CircuitSpec::Random(n));
+    }
+    specs
+}
+
+/// One census row: a circuit, its size, and its coupling utilisation
+/// after native transpilation.
+#[derive(Clone, Debug)]
+pub struct CensusRow {
+    /// Circuit name.
+    pub name: String,
+    /// Register size after lowering.
+    pub qubits: usize,
+    /// Distinct couplings exercised.
+    pub used: usize,
+    /// All `C(N,2)` couplings.
+    pub total: usize,
+    /// `used / total`.
+    pub fraction: f64,
+}
+
+/// Transpiles and censuses the whole suite. Each entry owns a seed
+/// stream derived from `seed` and its index, so rows are identical at
+/// any thread count.
+pub fn fig11_rows(seed: u64, threads: usize) -> Vec<CensusRow> {
+    let specs = fig11_specs();
+    par_map(threads, specs.len(), |i| {
+        let spec = &specs[i];
+        let mut rng = SmallRng::seed_from_u64(split_seed(seed, i));
+        let circuit = spec.build(&mut rng);
+        let native = transpile::to_native_optimized(&circuit);
+        let n = native.n_qubits();
+        let used = native.used_couplings().len();
+        let total = n * (n - 1) / 2;
+        CensusRow {
+            name: spec.name(),
+            qubits: n,
+            used,
+            total,
+            fraction: used as f64 / total as f64,
+        }
+    })
+}
+
+/// Mean utilised fraction per register size, in ascending size order.
+pub fn fraction_by_size(rows: &[CensusRow]) -> Vec<(usize, f64, f64)> {
+    let mut by_n: BTreeMap<usize, Vec<&CensusRow>> = BTreeMap::new();
+    for row in rows {
+        by_n.entry(row.qubits).or_default().push(row);
+    }
+    by_n.into_iter()
+        .map(|(n, items)| {
+            let avg_used = items.iter().map(|r| r.used as f64).sum::<f64>() / items.len() as f64;
+            let avg_frac = items.iter().map(|r| r.fraction).sum::<f64>() / items.len() as f64;
+            (n, avg_used, avg_frac)
+        })
+        .collect()
+}
+
+/// The suite-average utilised fraction — the number compared against
+/// the paper's "~1/3 of all couplings" line.
+pub fn suite_average_fraction(rows: &[CensusRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.fraction).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_is_thread_invariant() {
+        let a = fig11_rows(3, 1);
+        let b = fig11_rows(3, 8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.name.as_str(), x.used, x.total), (y.name.as_str(), y.used, y.total));
+        }
+    }
+
+    #[test]
+    fn ghz_uses_a_chain() {
+        // GHZ lowers to a CX chain: exactly n−1 couplings.
+        let rows = fig11_rows(3, 0);
+        for row in rows.iter().filter(|r| r.name.starts_with("ghz-")) {
+            assert_eq!(row.used, row.qubits - 1, "{}", row.name);
+        }
+    }
+}

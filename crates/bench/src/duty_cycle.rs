@@ -75,6 +75,7 @@ pub fn test_driven_policy(seed: u64) -> VirtualTrap {
         score: itqc_core::testplan::ScoreMode::ExactTarget,
         canary_score: itqc_core::testplan::ScoreMode::ExactTarget,
         max_threshold_retunes: 4,
+        fusion_rounds: 0, // set-cover policy: the fused ranked path is not taken
         fault_magnitude: 0.10,
     };
     let mut minutes = 0.0;

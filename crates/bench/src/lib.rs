@@ -24,12 +24,17 @@
 
 pub mod ambient;
 pub mod args;
+pub mod coupling_census;
 pub mod duty_cycle;
 pub mod echo;
+pub mod natural_faults;
 pub mod output;
 pub mod par_trials;
 pub mod protocol_stats;
+pub mod rb_stats;
 pub mod shot_exec;
+pub mod single_output;
+pub mod speedup;
 
 pub use ambient::ambient_executor;
 pub use args::Args;

@@ -31,6 +31,7 @@ pub fn table2_config(k: usize, decoder: DecoderPolicy) -> MultiFaultConfig {
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::WorstQubit,
         max_threshold_retunes: 4,
+        fusion_rounds: 2,
         fault_magnitude: 0.10,
     }
 }
@@ -49,19 +50,44 @@ pub fn table2_identification_rate(
     decoder: DecoderPolicy,
     seed: u64,
 ) -> f64 {
-    let config = table2_config(k, decoder);
+    identification_rate_with(n, k, trials, threads, &table2_config(k, decoder), false, seed)
+}
+
+/// [`table2_identification_rate`] with an explicit pipeline
+/// configuration and optional 300-shot binomial sampling on every test
+/// score — the knobs the evidence-fusion regression and property tests
+/// turn (fusion on/off at fixed seeds, exact vs shot-noisy
+/// observations). Thread-invariant like every `par_trials` estimator.
+pub fn identification_rate_with(
+    n: usize,
+    k: usize,
+    trials: usize,
+    threads: usize,
+    config: &MultiFaultConfig,
+    shot_sampled: bool,
+    seed: u64,
+) -> f64 {
+    use rand::Rng;
     let outcomes = par_trials(
         threads,
         trials,
         |t| split_seed(seed, t),
         |_, rng| {
             let faults = random_couplings(n, k, rng);
-            let mut exec =
+            let exec =
                 ExactExecutor::new(n).with_faults(faults.iter().map(|&c| (c, TABLE2_FAULT_U)));
-            let report = diagnose_all(&mut exec, n, &config);
             let mut truth = faults.clone();
             truth.sort();
-            report.couplings() == truth
+            if shot_sampled {
+                let mut cfg = config.clone();
+                cfg.shots = 300;
+                cfg.canary_shots = 300;
+                let mut shot_exec = crate::ShotSampled::new(exec, rng.gen());
+                diagnose_all(&mut shot_exec, n, &cfg).couplings() == truth
+            } else {
+                let mut exec = exec;
+                diagnose_all(&mut exec, n, config).couplings() == truth
+            }
         },
     );
     outcomes.iter().filter(|&&ok| ok).count() as f64 / trials.max(1) as f64

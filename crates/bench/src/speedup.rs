@@ -1,0 +1,79 @@
+//! The Fig. 10 testing-strategy speed-up study, shared between the
+//! `fig10` binary and the tier-2 regression suite.
+//!
+//! Under the paper's cost assumptions (gate time scaling `(8/N)²` from
+//! 0.2 ms, shallow-circuit runtime dominated by preparation + readout,
+//! adaptive programs compiled on the fly vs a precompiled non-adaptive
+//! family): the adaptive (binary-search) speed-up over all-couplings
+//! point checks plateaus around 10³ — the ratio of per-point-check
+//! processing to per-coupling compile time — while the non-adaptive
+//! protocol's speed-up keeps growing as `N²/log N`.
+//!
+//! The model is deterministic; [`fig10_rows`] still runs on
+//! [`crate::par_map`] so the row sweep parallelises and stays
+//! bit-identical at any thread count.
+
+use crate::par_map;
+use itqc_core::cost::CostModel;
+
+/// The machine sizes the paper's Fig. 10 sweeps.
+pub const FIG10_SIZES: [usize; 11] = [8, 11, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// One row of the speed-up table.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Machine size `N`.
+    pub qubits: usize,
+    /// Wall-clock of the all-couplings point-check characterisation.
+    pub point_check_s: f64,
+    /// Wall-clock of the adaptive (binary-search) strategy.
+    pub adaptive_s: f64,
+    /// Wall-clock of the non-adaptive `O(log N)`-test strategy.
+    pub non_adaptive_s: f64,
+    /// Point-check / adaptive time ratio.
+    pub speedup_adaptive: f64,
+    /// Point-check / non-adaptive time ratio.
+    pub speedup_non_adaptive: f64,
+}
+
+/// Evaluates the paper's cost model over [`FIG10_SIZES`].
+pub fn fig10_rows(threads: usize) -> Vec<SpeedupRow> {
+    let m = CostModel::paper_defaults();
+    par_map(threads, FIG10_SIZES.len(), |i| {
+        let n = FIG10_SIZES[i];
+        SpeedupRow {
+            qubits: n,
+            point_check_s: m.point_check_time(n),
+            adaptive_s: m.adaptive_time(n),
+            non_adaptive_s: m.non_adaptive_time(n),
+            speedup_adaptive: m.speedup_adaptive(n),
+            speedup_non_adaptive: m.speedup_non_adaptive(n),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_thread_invariant() {
+        let a = fig10_rows(1);
+        let b = fig10_rows(8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.speedup_adaptive.to_bits(), y.speedup_adaptive.to_bits());
+            assert_eq!(x.speedup_non_adaptive.to_bits(), y.speedup_non_adaptive.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_adaptive_speedup_is_monotone() {
+        let rows = fig10_rows(1);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].speedup_non_adaptive > w[0].speedup_non_adaptive,
+                "non-adaptive speed-up must grow with N"
+            );
+        }
+    }
+}

@@ -18,16 +18,20 @@
 //!
 //! * it measures raw round-1 aliasing ([`minimal_covers`],
 //!   [`identification_probability`]);
-//! * it powers the **likelihood-ranked aliasing decoder**
+//! * it powers the **cross-round evidence-fusion decoder**
 //!   ([`DecoderPolicy::Ranked`], the reproduction default): candidate
 //!   covers up to the fault budget ([`covers_up_to`]) are ranked by a
 //!   posterior that scores each cover's *predicted analog scores*
-//!   against the observed ones ([`rank_covers`]) — pass/fail patterns
+//!   against the observed ones — accumulated across every adaptive
+//!   round under a joint fault-magnitude profile ([`CoverPosterior`],
+//!   single-round convenience [`rank_covers`]). Pass/fail patterns
 //!   alias far earlier than the analog score vectors do, because a test
 //!   containing two faults sits measurably below one containing one;
-//! * as an optional extension beyond the paper (`DESIGN.md`,
-//!   [`DecoderPolicy::SetCoverFallback`]) it proposes candidate fault
-//!   sets for exhaustive point-verification.
+//! * as optional extensions beyond the paper (`DESIGN.md`) it proposes
+//!   candidate fault sets for targeted disputed-member interrogation
+//!   ([`DecoderPolicy::Interrogate`], [`marginal_accusation`]) or
+//!   exhaustive point-verification
+//!   ([`DecoderPolicy::SetCoverFallback`]).
 
 use crate::classes::{LabelSpace, SubcubeClass};
 use crate::executor::predicted_class_score;
@@ -51,16 +55,27 @@ pub enum DecoderPolicy {
     /// accept the first magnitude-verified isolate. Collisions the peel
     /// cannot split are abandoned.
     Greedy,
-    /// The likelihood-ranked aliasing decoder (this workspace's paper
+    /// The cross-round evidence-fusion decoder (this workspace's paper
     /// reproduction default): enumerate candidate covers of the failing
-    /// set up to the fault budget, rank them by posterior under the
-    /// threshold/ambient observation model ([`rank_covers`]), and spend
-    /// the retune budget on score-ranked disambiguation rounds — one
-    /// marginal accusation plus one magnitude verification per round,
-    /// with the pass/fail threshold re-calibrated from the observed score
-    /// gaps each round.
+    /// set up to the fault budget and rank them by the posterior
+    /// accumulated over every adaptive round's class scores
+    /// ([`CoverPosterior`] — per-round log-likelihoods sum under a
+    /// joint fault-magnitude profile). Ambiguous rounds gather fresh
+    /// class batteries at other ladder rungs, each with a re-calibrated
+    /// pass/fail cut; accusations are consensus-gated and
+    /// magnitude-verified.
     #[default]
     Ranked,
+    /// The fused ranked decoder plus **disputed-member interrogation**
+    /// (an extension beyond the paper's pipeline): when the fused
+    /// posterior still has no consensus after every ladder rung has been
+    /// probed, the disputed coupling with the highest posterior-weighted
+    /// marginal ([`marginal_accusation`]) is point-tested — a faulty
+    /// outcome is a diagnosis, a healthy one eliminates every cover
+    /// containing it. Resolves aliasing families the paper's pipeline
+    /// reports as failures, at one targeted test per round (compare the
+    /// test-everything [`DecoderPolicy::SetCoverFallback`]).
+    Interrogate,
     /// The greedy peel plus the set-cover + point-verification fallback
     /// (an extension beyond the paper's pipeline: every coupling
     /// implicated by any minimal cover is point-tested individually).
@@ -68,9 +83,20 @@ pub enum DecoderPolicy {
 }
 
 impl DecoderPolicy {
-    /// All policies, in ablation order.
-    pub const ALL: [DecoderPolicy; 3] =
-        [DecoderPolicy::Greedy, DecoderPolicy::Ranked, DecoderPolicy::SetCoverFallback];
+    /// All policies, in ablation order (paper-faithful first, then the
+    /// extensions).
+    pub const ALL: [DecoderPolicy; 4] = [
+        DecoderPolicy::Greedy,
+        DecoderPolicy::Ranked,
+        DecoderPolicy::Interrogate,
+        DecoderPolicy::SetCoverFallback,
+    ];
+
+    /// `true` for the policies that run the likelihood-ranked
+    /// evidence-fusion loop ([`CoverPosterior`]) on collisions.
+    pub fn uses_ranked_fusion(self) -> bool {
+        matches!(self, DecoderPolicy::Ranked | DecoderPolicy::Interrogate)
+    }
 }
 
 impl fmt::Display for DecoderPolicy {
@@ -78,6 +104,7 @@ impl fmt::Display for DecoderPolicy {
         let s = match self {
             DecoderPolicy::Greedy => "greedy",
             DecoderPolicy::Ranked => "ranked",
+            DecoderPolicy::Interrogate => "interrogate",
             DecoderPolicy::SetCoverFallback => "set-cover",
         };
         write!(f, "{s}")
@@ -91,8 +118,11 @@ impl std::str::FromStr for DecoderPolicy {
         match s {
             "greedy" => Ok(DecoderPolicy::Greedy),
             "ranked" => Ok(DecoderPolicy::Ranked),
+            "interrogate" => Ok(DecoderPolicy::Interrogate),
             "set-cover" | "set_cover" | "cover" => Ok(DecoderPolicy::SetCoverFallback),
-            other => Err(format!("unknown decoder policy '{other}' (greedy|ranked|set-cover)")),
+            other => Err(format!(
+                "unknown decoder policy '{other}' (greedy|ranked|interrogate|set-cover)"
+            )),
         }
     }
 }
@@ -376,44 +406,184 @@ fn log_likelihood_of_partition(parts: &[(Vec<Coupling>, f64)], u: f64, model: &C
 
 /// Ranks candidate covers by profiled log-posterior, best first.
 /// Ties break on smaller cover, then lexicographic coupling order, so
-/// the ranking is deterministic.
+/// the ranking is deterministic. Single-round convenience wrapper over
+/// [`CoverPosterior`].
 pub fn rank_covers(
     covers: &[Vec<Coupling>],
     observed: &[(SubcubeClass, f64)],
     model: &CoverModel,
 ) -> Vec<RankedCover> {
-    let (u_lo, u_hi, steps) = COVER_U_GRID;
-    let mut out: Vec<RankedCover> = covers
-        .iter()
-        .map(|cover| {
-            let parts = partition_by_class(cover, observed);
-            let mut best = f64::NEG_INFINITY;
-            let mut best_u = u_lo;
-            for s in 0..steps {
-                let u = u_lo + (u_hi - u_lo) * s as f64 / (steps - 1) as f64;
-                let ll = log_likelihood_of_partition(&parts, u, model);
-                if ll > best {
-                    best = ll;
-                    best_u = u;
+    let mut posterior = CoverPosterior::new();
+    posterior.observe(observed.to_vec(), *model);
+    posterior.rank(covers)
+}
+
+// ---------------------------------------------------------------------
+// Cross-round evidence fusion (the §V second-adaptive-round upgrade).
+// ---------------------------------------------------------------------
+
+/// One adaptive round's worth of analog evidence: the per-class scores
+/// it observed, the observation model they were scored under (gate
+/// repetitions, statistic, per-round re-calibrated noise width — see
+/// [`crate::threshold::rescale_sigma`]), and optionally the round's
+/// re-calibrated pass/fail threshold used to *narrow* the cover set
+/// (covers whose prediction lands decisively on the wrong side of the
+/// cut for a class are eliminated rather than merely down-weighted).
+#[derive(Clone, Debug)]
+pub struct EvidenceRound {
+    /// The analog score of every class test this round ran.
+    pub observed: Vec<(SubcubeClass, f64)>,
+    /// The observation model the scores were produced under.
+    pub model: CoverModel,
+    /// The round's re-calibrated pass/fail cut
+    /// ([`crate::threshold::contrast_threshold`]); `None` disables
+    /// contradiction pruning for the round.
+    pub veto_threshold: Option<f64>,
+}
+
+/// The cross-round evidence-fusion posterior over candidate covers.
+///
+/// PR 3's ranked decoder re-ranked every disambiguation round from the
+/// *round-1* scores alone; this ledger instead accumulates each
+/// adaptive round's per-class scores and ranks covers by the **fused**
+/// posterior: the common fault magnitude is profiled *jointly* — one
+/// `u` grid point sums the Gaussian log-likelihood of every observed
+/// round before the maximum is taken — so a cover can no longer buy a
+/// good round-1 fit with a magnitude that round 2's amplification
+/// contradicts. Two fault multiplicities that alias at one repetition
+/// count (`cos²(r·u·π/4)^m` surfaces cross) separate once a second
+/// rung pins the magnitude, which is precisely the residual Table II
+/// gap ROADMAP tracked after PR 3.
+#[derive(Clone, Debug, Default)]
+pub struct CoverPosterior {
+    rounds: Vec<EvidenceRound>,
+}
+
+impl CoverPosterior {
+    /// An empty ledger (no evidence yet).
+    pub fn new() -> Self {
+        CoverPosterior { rounds: Vec::new() }
+    }
+
+    /// Accumulates one round of per-class scores without a veto cut.
+    pub fn observe(&mut self, observed: Vec<(SubcubeClass, f64)>, model: CoverModel) {
+        self.observe_round(EvidenceRound { observed, model, veto_threshold: None });
+    }
+
+    /// Accumulates one full evidence round.
+    pub fn observe_round(&mut self, round: EvidenceRound) {
+        self.rounds.push(round);
+    }
+
+    /// Number of accumulated evidence rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The fused log-likelihood profile of one cover: at each magnitude
+    /// grid point the per-round log-likelihoods *sum* (joint-magnitude
+    /// profiling), and the returned pair is the profile maximum and its
+    /// grid location.
+    fn fused_profile(&self, cover: &[Coupling]) -> (f64, f64) {
+        type RoundPartition<'a> = (Vec<(Vec<Coupling>, f64)>, &'a CoverModel);
+        let (u_lo, u_hi, steps) = COVER_U_GRID;
+        let parts: Vec<RoundPartition<'_>> = self
+            .rounds
+            .iter()
+            .map(|r| (partition_by_class(cover, &r.observed), &r.model))
+            .collect();
+        let mut best = f64::NEG_INFINITY;
+        let mut best_u = u_lo;
+        for s in 0..steps {
+            let u = u_lo + (u_hi - u_lo) * s as f64 / (steps - 1) as f64;
+            let ll: f64 =
+                parts.iter().map(|(p, model)| log_likelihood_of_partition(p, u, model)).sum();
+            if ll > best {
+                best = ll;
+                best_u = u;
+            }
+        }
+        (best, best_u)
+    }
+
+    /// `true` when a round with a veto cut decisively contradicts the
+    /// cover at its own fused-MAP magnitude: the cover predicts a class
+    /// a full noise width *below* the round's re-calibrated threshold
+    /// (a fault it insists on) while the round observed that class a
+    /// full noise width *above* it (clean). Such covers are eliminated
+    /// from the candidate set — the "narrowing" half of evidence
+    /// fusion.
+    ///
+    /// Only this overreach direction prunes. The converse — a cover
+    /// predicting clean where the round observed a failure — is *not* a
+    /// contradiction: the gap-threshold walk deliberately ranks partial
+    /// covers that explain only the deepest-scoring band of the failing
+    /// set (the magnitude-peel reading of Fig. 5), and those
+    /// legitimately leave shallower failures unexplained.
+    pub fn contradicted(&self, cover: &[Coupling]) -> bool {
+        let (_, u_hat) = self.fused_profile(cover);
+        self.contradicted_at(cover, u_hat)
+    }
+
+    /// [`Self::contradicted`] at a pre-computed fused-MAP magnitude
+    /// (so [`Self::rank`] profiles each cover exactly once).
+    fn contradicted_at(&self, cover: &[Coupling], u_hat: f64) -> bool {
+        self.rounds.iter().any(|round| {
+            let Some(t) = round.veto_threshold else {
+                return false;
+            };
+            let margin = round.model.sigma;
+            round.observed.iter().any(|&(class, obs)| {
+                if obs < t + margin {
+                    return false; // class not decisively clean this round
                 }
-            }
-            let mut couplings = cover.clone();
-            couplings.sort();
-            RankedCover {
-                couplings,
-                log_posterior: best + model.log_fault_prior * cover.len() as f64,
-                magnitude: best_u,
-            }
+                let members: Vec<Coupling> =
+                    cover.iter().copied().filter(|&c| class.contains_coupling(c)).collect();
+                !members.is_empty()
+                    && predicted_class_score(&members, u_hat, round.model.reps, round.model.score)
+                        <= t - margin
+            })
         })
-        .collect();
-    out.sort_by(|a, b| {
-        b.log_posterior
-            .partial_cmp(&a.log_posterior)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.couplings.len().cmp(&b.couplings.len()))
-            .then(a.couplings.cmp(&b.couplings))
-    });
-    out
+    }
+
+    /// Ranks a candidate pool by fused log-posterior, best first, after
+    /// eliminating covers contradicted by any veto round. Tie-breaking
+    /// matches [`rank_covers`] (smaller cover, then lexicographic), so
+    /// with a single vetoless round this *is* `rank_covers`.
+    pub fn rank(&self, covers: &[Vec<Coupling>]) -> Vec<RankedCover> {
+        let prior =
+            self.rounds.first().map(|r| r.model.log_fault_prior).unwrap_or(COVER_LOG_FAULT_PRIOR);
+        let has_veto = self.rounds.iter().any(|r| r.veto_threshold.is_some());
+        let mut out: Vec<RankedCover> = covers
+            .iter()
+            .filter_map(|cover| {
+                let (best, best_u) = self.fused_profile(cover);
+                if has_veto && self.contradicted_at(cover, best_u) {
+                    return None;
+                }
+                let mut couplings = cover.clone();
+                couplings.sort();
+                Some(RankedCover {
+                    couplings,
+                    log_posterior: best + prior * cover.len() as f64,
+                    magnitude: best_u,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.log_posterior
+                .partial_cmp(&a.log_posterior)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.couplings.len().cmp(&b.couplings.len()))
+                .then(a.couplings.cmp(&b.couplings))
+        });
+        out
+    }
+
+    /// [`consensus_accusation`] over the fused ranking of `covers`.
+    pub fn consensus(&self, covers: &[Vec<Coupling>]) -> Option<Coupling> {
+        consensus_accusation(&self.rank(covers))
+    }
 }
 
 /// Posterior margin (in log units) within which two covers count as
@@ -435,9 +605,18 @@ pub const COVER_TIE_MARGIN: f64 = 1.0;
 /// under every surviving explanation and can be accused, verified, and
 /// excluded, after which the sequential loop re-diagnoses the rest.
 pub fn consensus_accusation(ranked: &[RankedCover]) -> Option<Coupling> {
+    consensus_accusation_within(ranked, COVER_TIE_MARGIN)
+}
+
+/// [`consensus_accusation`] at an explicit tie margin: wider margins
+/// demand agreement across more near-optimal covers, so accusations get
+/// rarer but stronger. The multi-fault loop uses a wider margin on
+/// internally *inconsistent* (non-conflicting) first rounds, which lack
+/// the corroborating bit-conflict a collision record carries.
+pub fn consensus_accusation_within(ranked: &[RankedCover], margin: f64) -> Option<Coupling> {
     let top = ranked.first()?.log_posterior;
     let tied: Vec<&RankedCover> =
-        ranked.iter().take_while(|rc| top - rc.log_posterior <= COVER_TIE_MARGIN).collect();
+        ranked.iter().take_while(|rc| top - rc.log_posterior <= margin).collect();
     let mut common: BTreeSet<Coupling> = tied[0].couplings.iter().copied().collect();
     for rc in &tied[1..] {
         common.retain(|c| rc.couplings.contains(c));
@@ -451,6 +630,32 @@ pub fn consensus_accusation(ranked: &[RankedCover]) -> Option<Coupling> {
             if common.contains(&c) {
                 *weight.entry(c).or_insert(0.0) += w;
             }
+        }
+    }
+    weight
+        .into_iter()
+        .max_by(|(ca, wa), (cb, wb)| {
+            wa.partial_cmp(wb).unwrap_or(std::cmp::Ordering::Equal).then(cb.cmp(ca))
+        })
+        .map(|(c, _)| c)
+}
+
+/// The coupling to *interrogate next* when the ranked posterior has no
+/// consensus: the posterior-weighted marginal-best member over **all**
+/// ranked covers, with no agreement requirement. Unlike
+/// [`consensus_accusation`] this is not a diagnosis — it is the
+/// highest-information point test available, the evidence-fusion
+/// counterpart of Fig. 5's adaptive verification round: a faulty
+/// outcome confirms the member under every explanation containing it,
+/// a healthy outcome eliminates all of them, and either way the cover
+/// set narrows decisively. Ties break on the smallest coupling.
+pub fn marginal_accusation(ranked: &[RankedCover]) -> Option<Coupling> {
+    let top = ranked.first()?.log_posterior;
+    let mut weight: BTreeMap<Coupling, f64> = BTreeMap::new();
+    for rc in ranked {
+        let w = (rc.log_posterior - top).exp();
+        for &c in &rc.couplings {
+            *weight.entry(c).or_insert(0.0) += w;
         }
     }
     weight
@@ -778,6 +983,144 @@ mod tests {
         let ranked = ranked_for(&truth, 0.30, 8, 4);
         let accused = consensus_accusation(&ranked).expect("fixture is decisive");
         assert!(truth.contains(&accused));
+    }
+
+    // -----------------------------------------------------------------
+    // Cross-round evidence fusion (the `CoverPosterior` ledger).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn single_round_posterior_is_exactly_rank_covers() {
+        // The fused posterior with one vetoless round must reproduce
+        // `rank_covers` bit-for-bit — PR 3's ranking is the fusion base
+        // case, not a separate code path.
+        let truth = vec![Coupling::new(0, 1), Coupling::new(2, 3)];
+        let planted: Vec<(Coupling, f64)> = truth.iter().map(|&c| (c, 0.30)).collect();
+        let observed = noiseless_observed(&planted, 8, 4);
+        let space = space8();
+        let none = BTreeSet::new();
+        let failing = failing_set_of(&truth, &space);
+        let covers = covers_up_to(&failing, &space, &none, 4, 96);
+        let model = CoverModel::new(4, ScoreMode::ExactTarget, 0.04);
+        let direct = rank_covers(&covers, &observed, &model);
+        let mut posterior = CoverPosterior::new();
+        posterior.observe(observed, model);
+        let fused = posterior.rank(&covers);
+        assert_eq!(direct.len(), fused.len());
+        for (a, b) in direct.iter().zip(&fused) {
+            assert_eq!(a.couplings, b.couplings);
+            assert_eq!(a.log_posterior.to_bits(), b.log_posterior.to_bits());
+            assert_eq!(a.magnitude.to_bits(), b.magnitude.to_bits());
+        }
+    }
+
+    #[test]
+    fn fusing_a_round_never_worsens_the_true_covers_rank() {
+        // Seeded property sweep: plant 2-3 equal-magnitude faults,
+        // observe the noiseless class battery at 4-MS, then fuse the
+        // 2-MS battery. The truth predicts both rounds exactly, so
+        // accumulating evidence can only hold or improve its position;
+        // wrong covers can only lose ground under the joint-magnitude
+        // profile.
+        let mut rng = SmallRng::seed_from_u64(20260729);
+        let space = space8();
+        let none = BTreeSet::new();
+        let all = space.all_couplings();
+        let mut checked = 0usize;
+        let mut improved = 0usize;
+        for trial in 0..60 {
+            let k = 2 + rng.gen_range(0..2usize);
+            let mut chosen: BTreeSet<usize> = BTreeSet::new();
+            while chosen.len() < k {
+                chosen.insert(rng.gen_range(0..all.len()));
+            }
+            let truth: Vec<Coupling> = chosen.iter().map(|&i| all[i]).collect();
+            let u = 0.22 + 0.16 * rng.gen::<f64>();
+            let planted: Vec<(Coupling, f64)> = truth.iter().map(|&c| (c, u)).collect();
+            let observed4 = noiseless_observed(&planted, 8, 4);
+            let failing: FailingSet = observed4
+                .iter()
+                .filter(|&&(_, s)| s < 0.5)
+                .map(|&(class, _)| (class.bit, class.value))
+                .collect();
+            if failing.is_empty() {
+                continue; // all-complementary plant: nothing to rank
+            }
+            let covers = covers_up_to(&failing, &space, &none, k + 1, 256);
+            if !covers.iter().any(|c| {
+                let mut s = c.clone();
+                s.sort();
+                s == truth
+            }) {
+                continue; // truth shadowed out of the candidate pool
+            }
+            let rank_of = |ranked: &[RankedCover]| {
+                ranked.iter().position(|rc| rc.couplings == truth).expect("truth must be ranked")
+            };
+            let mut posterior = CoverPosterior::new();
+            posterior.observe(observed4.clone(), CoverModel::new(4, ScoreMode::ExactTarget, 0.04));
+            let before = rank_of(&posterior.rank(&covers));
+            posterior.observe(
+                noiseless_observed(&planted, 8, 2),
+                CoverModel::new(2, ScoreMode::ExactTarget, 0.04),
+            );
+            let after = rank_of(&posterior.rank(&covers));
+            assert!(
+                after <= before,
+                "trial {trial}: fusing 2-MS evidence demoted the truth {before} -> {after}"
+            );
+            checked += 1;
+            if after < before {
+                improved += 1;
+            }
+        }
+        assert!(checked >= 25, "sweep must exercise enough fixtures: {checked}");
+        assert!(improved > 0, "fusion must strictly improve at least one fixture");
+    }
+
+    #[test]
+    fn veto_round_eliminates_overreaching_covers_only() {
+        // A veto round prunes covers that insist on a fault in a class
+        // the round observed decisively clean, and never prunes the
+        // truth (whose predictions match every round).
+        let truth = vec![Coupling::new(0, 1), Coupling::new(2, 3)];
+        let planted: Vec<(Coupling, f64)> = truth.iter().map(|&c| (c, 0.30)).collect();
+        let space = space8();
+        let none = BTreeSet::new();
+        let failing = failing_set_of(&truth, &space);
+        let covers = covers_up_to(&failing, &space, &none, 4, 96);
+        let mut posterior = CoverPosterior::new();
+        posterior.observe(
+            noiseless_observed(&planted, 8, 4),
+            CoverModel::new(4, ScoreMode::ExactTarget, 0.04),
+        );
+        let baseline = posterior.rank(&covers).len();
+        posterior.observe_round(EvidenceRound {
+            observed: noiseless_observed(&planted, 8, 2),
+            model: CoverModel::new(2, ScoreMode::ExactTarget, 0.04),
+            veto_threshold: Some(crate::threshold::contrast_threshold(0.30, 2)),
+        });
+        let pruned = posterior.rank(&covers);
+        assert!(pruned.len() <= baseline);
+        assert!(
+            pruned.iter().any(|rc| rc.couplings == truth),
+            "the truth must survive every veto round"
+        );
+        for rc in &pruned {
+            assert!(!posterior.contradicted(&rc.couplings));
+        }
+    }
+
+    #[test]
+    fn marginal_accusation_targets_a_planted_member() {
+        // On the aliased fixture the marginal interrogation must pick a
+        // member of some surviving cover — and with the truth ranked
+        // first, a planted coupling.
+        let truth = vec![Coupling::new(0, 1), Coupling::new(2, 3)];
+        let ranked = ranked_for(&truth, 0.30, 8, 4);
+        let accused = marginal_accusation(&ranked).expect("non-empty ranking");
+        assert!(truth.contains(&accused), "marginal accusation {accused} must be planted");
+        assert!(marginal_accusation(&[]).is_none());
     }
 
     #[test]

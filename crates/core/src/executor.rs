@@ -128,19 +128,33 @@ pub fn point_test_fidelity(u: f64, reps: usize) -> f64 {
     (missing / 2.0).cos().powi(2)
 }
 
+/// Largest faulty-set size for which [`predicted_class_score`] runs the
+/// exact even-subgraph interference sum (`2^m` subsets); beyond it the
+/// product truncation is used. Candidate covers are bounded by the fault
+/// budget, so realistic calls stay far below this.
+pub const INTERFERENCE_SUM_LIMIT: usize = 16;
+
 /// Forward model of the ranked aliasing decoder: the score a class test
 /// is predicted to produce when exactly the couplings in `faulty` (all
 /// members of the class) carry under-rotation `u`.
 ///
-/// * [`ScoreMode::ExactTarget`] — the product `∏ cos²(reps·u·π/4)` of
-///   the per-fault point fidelities. For even `reps` every healthy
-///   coupling contributes an exact bit-flip, so the residual rotations
-///   of the faulty couplings are all that remains; their flip patterns
-///   are distinct whenever the faulty couplings do not close a cycle,
-///   which makes the product *exact* for any one or two faults per
-///   class and a truncation (cycles interfere) only from three up —
-///   that truncation error is part of the observation noise budget
-///   ([`crate::threshold::observation_sigma`]).
+/// * [`ScoreMode::ExactTarget`] — for even `reps` every healthy coupling
+///   contributes an exact bit-flip, so only the faulty couplings'
+///   residual rotations `exp(∓i·δ_f·X_aX_b)` with `δ_f = reps·u·π/4`
+///   remain. Expanding each residual into `cos δ·𝟙 − i·sin δ·X_aX_b`
+///   terms, a product term survives on the target string exactly when
+///   its chosen flips cancel — when the chosen couplings form an
+///   even-degree subgraph (a cycle union). The amplitude is therefore
+///
+///   `A = Σ_{S ⊆ faulty, S even} (−i·sin δ)^{|S|}·(cos δ)^{m−|S|}`
+///
+///   and the score is `|A|²`. Only `S = ∅` survives for `m ≤ 2`
+///   (reproducing the plain product `cos²(δ)^m`), while cycle-closing
+///   covers from three faults up pick up interference terms the product
+///   truncation misses — e.g. a fault triangle inside one class scores
+///   `cos⁶δ + sin⁶δ`, not `cos⁶δ`. The sum is exact for any cover the
+///   decoder scores (sets larger than [`INTERFERENCE_SUM_LIMIT`] fall
+///   back to the product).
 /// * [`ScoreMode::WorstQubit`] — exact for any fault multiset: the
 ///   qubit marginal `⟨Z_q⟩` multiplies `cos(reps·u·π/2)` per incident
 ///   fault, so the worst agreement is `(1 + c^{d_q})/2` minimised over
@@ -150,7 +164,20 @@ pub fn predicted_class_score(faulty: &[Coupling], u: f64, reps: usize, score: Sc
         return 1.0;
     }
     match score {
-        ScoreMode::ExactTarget => point_test_fidelity(u, reps).powi(faulty.len() as i32),
+        ScoreMode::ExactTarget => {
+            let m = faulty.len();
+            // The interference sum indexes qubits as u128 bits; labels
+            // beyond the mask width (or oversized sets) fall back to
+            // the product truncation rather than aliasing bits.
+            let maskable = faulty.iter().all(|f| {
+                let (a, b) = f.endpoints();
+                a < 128 && b < 128
+            });
+            if m <= 2 || m > INTERFERENCE_SUM_LIMIT || !maskable {
+                return point_test_fidelity(u, reps).powi(m as i32);
+            }
+            interference_class_score(faulty, u, reps)
+        }
         ScoreMode::WorstQubit => {
             let c = (reps as f64 * u * FRAC_PI_2).cos();
             let mut degree: BTreeMap<usize, i32> = BTreeMap::new();
@@ -162,6 +189,44 @@ pub fn predicted_class_score(faulty: &[Coupling], u: f64, reps: usize, score: Sc
             degree.values().map(|&d| (1.0 + c.powi(d)) / 2.0).fold(1.0, f64::min)
         }
     }
+}
+
+/// The exact even-subgraph interference sum behind
+/// [`predicted_class_score`]'s `ExactTarget` branch (see its docs for
+/// the derivation). `2^m` subsets; callers bound `m`.
+fn interference_class_score(faulty: &[Coupling], u: f64, reps: usize) -> f64 {
+    let m = faulty.len();
+    let delta = reps as f64 * u * FRAC_PI_2 / 2.0;
+    let (sin_d, cos_d) = delta.sin_cos();
+    let masks: Vec<u128> = faulty
+        .iter()
+        .map(|f| {
+            let (a, b) = f.endpoints();
+            (1u128 << a) | (1u128 << b)
+        })
+        .collect();
+    let (mut re, mut im) = (0.0f64, 0.0f64);
+    for subset in 0u32..(1u32 << m) {
+        let mut flips = 0u128;
+        for (i, &mask) in masks.iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                flips ^= mask;
+            }
+        }
+        if flips != 0 {
+            continue; // odd-degree subgraph: flips land off the target
+        }
+        let k = subset.count_ones() as i32;
+        let w = cos_d.powi(m as i32 - k) * sin_d.powi(k);
+        // (−i)^k walks the quadrants 1, −i, −1, i.
+        match k % 4 {
+            0 => re += w,
+            1 => im -= w,
+            2 => re -= w,
+            _ => im += w,
+        }
+    }
+    re * re + im * im
 }
 
 #[cfg(test)]
@@ -206,6 +271,43 @@ mod tests {
         // Healthy couplings pass with margin.
         assert!(point_test_fidelity(0.02, 2) > 0.99);
         assert!(point_test_fidelity(0.02, 4) > 0.97);
+    }
+
+    #[test]
+    fn forward_model_matches_exact_engine_on_cycle_covers() {
+        // Cycle-closing fault sets pick up interference the product
+        // truncation misses; the even-subgraph sum must agree with the
+        // exact commuting-XX engine to machine precision, with healthy
+        // couplings in the same test contributing nothing but flips.
+        use crate::testplan::ScoreMode;
+        let c = Coupling::new;
+        let cases: [&[Coupling]; 4] = [
+            &[c(0, 1), c(1, 2), c(0, 2)],          // triangle
+            &[c(0, 1), c(1, 2), c(2, 3), c(0, 3)], // 4-cycle
+            &[c(0, 1), c(1, 2), c(0, 2), c(4, 5)], // triangle + isolated edge
+            &[c(0, 1), c(2, 3), c(4, 5)],          // acyclic: must equal the product
+        ];
+        for faults in cases {
+            for &u in &[0.12, 0.30, 0.45] {
+                for reps in [2usize, 4] {
+                    let exec = ExactExecutor::new(8).with_faults(faults.iter().map(|&f| (f, u)));
+                    let mut tested = faults.to_vec();
+                    tested.push(c(6, 7)); // healthy coupling in the same test
+                    let spec = TestSpec::for_couplings("t", &tested, reps);
+                    let expect = exec.exact_fidelity(&spec);
+                    let got = predicted_class_score(faults, u, reps, ScoreMode::ExactTarget);
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "{faults:?} u={u} reps={reps}: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+        // The triangle's closed form: |cos³δ + i·sin³δ|² = cos⁶δ + sin⁶δ.
+        let d = 4.0 * 0.30 * FRAC_PI_2 / 2.0;
+        let tri =
+            predicted_class_score(&[c(0, 1), c(1, 2), c(0, 2)], 0.30, 4, ScoreMode::ExactTarget);
+        assert!((tri - (d.cos().powi(6) + d.sin().powi(6))).abs() < 1e-12);
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //!   separation via repetition ladder, sequential isolation by exclusion
 //!   (Corollary V.12). Equal-magnitude collisions are disambiguated per
 //!   [`decoder::DecoderPolicy`]: the greedy threshold peel, the
-//!   likelihood-ranked aliasing decoder (default — candidate covers of
-//!   the failing set ranked by posterior under the ambient observation
-//!   model), or the set-cover + point-verification fallback extension.
+//!   cross-round evidence-fusion decoder (default — candidate covers
+//!   ranked by a posterior accumulated over every adaptive round's
+//!   class scores, [`decoder::CoverPosterior`]), the disputed-member
+//!   interrogation extension, or the set-cover + point-verification
+//!   fallback extension.
 //! * [`decoder`] — multi-fault syndrome aliasing analysis (Table II):
-//!   exact cover enumeration plus the posterior scoring behind the
-//!   ranked policy ([`decoder::rank_covers`]).
+//!   exact cover enumeration plus the fused posterior behind the
+//!   ranked policy ([`decoder::CoverPosterior`], [`decoder::rank_covers`]).
 //! * [`baselines`] — point checks and adaptive binary search (§IV).
 //! * [`cost`] — the Fig. 10 wall-clock model; [`threshold`] — empirical
 //!   pass/fail threshold calibration, per-round gap re-calibration, and

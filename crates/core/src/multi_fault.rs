@@ -18,12 +18,20 @@
 //!   ([`retune_and_isolate`]-style): retry the single-fault protocol at
 //!   thresholds placed in the observed score gaps and take the first
 //!   verified isolate.
-//! * [`DecoderPolicy::Ranked`] — the likelihood-ranked aliasing decoder
-//!   (the reproduction default): enumerate candidate covers of the
-//!   observed failing set, rank them by posterior under the
-//!   threshold/ambient observation model, and run score-ranked
-//!   disambiguation rounds (one marginal accusation + one magnitude
-//!   verification each, thresholds re-calibrated per round).
+//! * [`DecoderPolicy::Ranked`] — the cross-round evidence-fusion
+//!   decoder (the reproduction default): enumerate candidate covers of
+//!   the observed failing set, rank them by the posterior accumulated
+//!   over **every** adaptive round's class scores
+//!   ([`crate::decoder::CoverPosterior`]), spend
+//!   [`MultiFaultConfig::fusion_rounds`] extra rounds gathering fresh
+//!   class batteries at other ladder rungs when ambiguous, and accuse
+//!   only consensus members (each magnitude-verified). Internally
+//!   inconsistent round-1 records (union syndromes no single fault can
+//!   produce) route through the same machinery.
+//! * [`DecoderPolicy::Interrogate`] — the fused decoder plus
+//!   disputed-member interrogation (an extension beyond the paper):
+//!   with no consensus after every rung is fused, point-test the
+//!   highest-marginal disputed coupling.
 //! * [`DecoderPolicy::SetCoverFallback`] — the greedy peel plus the
 //!   set-cover + point-verification fallback (an extension beyond the
 //!   paper, documented in `DESIGN.md`).
@@ -74,6 +82,16 @@ pub struct MultiFaultConfig {
     /// (placed in the gaps of the observed round-1 scores) so that only
     /// the largest fault trips tests. 0 disables.
     pub max_threshold_retunes: usize,
+    /// Cross-round evidence-fusion budget of the ranked decoder: when
+    /// the fused posterior is still ambiguous, up to this many extra
+    /// adaptive rounds re-run the class battery at *another* rung of
+    /// the repetition ladder and accumulate the fresh per-class scores
+    /// into the cover posterior ([`crate::decoder::CoverPosterior`]) —
+    /// round 2 narrows the cover set with its own evidence instead of
+    /// re-ranking round-1 scores. 0 restores the PR 3 re-ranking-only
+    /// behaviour. Each fusion round costs one adaptation plus one class
+    /// battery (`2n` tests).
+    pub fusion_rounds: usize,
     /// Minimum |under-rotation| that counts as a fault during magnitude
     /// verification of retuned diagnoses (the paper's ~10% recalibration
     /// line in Fig. 7C).
@@ -96,6 +114,7 @@ impl MultiFaultConfig {
             score: ScoreMode::ExactTarget,
             canary_score: ScoreMode::WorstQubit,
             max_threshold_retunes: 4,
+            fusion_rounds: 2,
             fault_magnitude: 0.10,
         }
     }
@@ -237,7 +256,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                     // score gaps, or likelihood-ranked disambiguation.
                     let mut isolated = None;
                     if config.max_threshold_retunes > 0 {
-                        if config.decoder == DecoderPolicy::Ranked {
+                        if config.decoder.uses_ranked_fusion() {
                             // Score-ranked disambiguation first: accuse
                             // only what the cover posterior decisively
                             // implicates, at no extra class-test cost.
@@ -248,6 +267,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                                 config,
                                 reps,
                                 &report,
+                                decoder::COVER_TIE_MARGIN,
                                 &mut tests_run,
                                 &mut adaptations,
                             );
@@ -298,6 +318,43 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                     }
                     // Equal-magnitude collision the pipeline cannot split.
                     break 'outer;
+                }
+                Diagnosis::Inconclusive
+                    if config.decoder.uses_ranked_fusion() && config.max_threshold_retunes > 0 =>
+                {
+                    // An internally inconsistent record — e.g. a union
+                    // syndrome longer than any single fault can produce,
+                    // which never trips the bit-conflict detector. This
+                    // is *the* dominant 3-fault signature (three
+                    // syndromes can union without colliding), so the
+                    // evidence-fusion decoder gets the round-1 scores
+                    // here too: candidate covers of the failing set are
+                    // ranked by the fused posterior and the consensus
+                    // member is accused and magnitude-verified exactly
+                    // as on a conflict. Shadowed members of the true
+                    // fault set surface on later sequential passes once
+                    // the accused coupling is excluded.
+                    let isolated = ranked_isolate(
+                        exec,
+                        &space,
+                        &excluded,
+                        config,
+                        reps,
+                        &report,
+                        INCONSISTENT_TIE_MARGIN,
+                        &mut tests_run,
+                        &mut adaptations,
+                    );
+                    if let Some(c) = isolated {
+                        diagnosed.push(DiagnosedFault { coupling: c, reps });
+                        excluded.insert(c);
+                        adaptations += 1;
+                        exec.note_adaptation(1);
+                        progressed = true;
+                        break;
+                    }
+                    // Nothing decisively implicated: escalate the
+                    // amplification like any other inconclusive round.
                 }
                 Diagnosis::NoFault | Diagnosis::Inconclusive => {
                     // Not visible at this amplification; escalate.
@@ -381,29 +438,50 @@ fn retune_and_isolate<E: TestExecutor>(
 /// How many candidate covers the ranked decoder scores per round.
 const RANKED_COVER_CAP: usize = 96;
 
+/// Consensus tie margin for internally *inconsistent* (non-conflicting)
+/// first rounds: wider than [`decoder::COVER_TIE_MARGIN`] because such
+/// records lack the corroborating bit-conflict, so an accusation must
+/// hold across a broader band of near-optimal explanations — but kept
+/// strictly inside one [`decoder::COVER_LOG_FAULT_PRIOR`] unit (2.0),
+/// otherwise every equal-likelihood cover one member larger would join
+/// the tie set by prior alone and veto consensus permanently.
+const INCONSISTENT_TIE_MARGIN: f64 = 1.5;
+
 /// The likelihood-ranked disambiguation loop (`DecoderPolicy::Ranked`):
-/// the replacement for the greedy equal-magnitude peel.
+/// the replacement for the greedy equal-magnitude peel, upgraded to
+/// **cross-round evidence fusion**.
 ///
 /// The conflicted first round already carries the full analog score of
 /// every class test — far more information than the pass/fail pattern
-/// the greedy peel consumes. Each round:
+/// the greedy peel consumes — and every later adaptive round adds more.
+/// Each round:
 ///
 /// 1. re-calibrates the pass/fail threshold (round 0 uses the configured
 ///    threshold; later rounds walk the gaps of the observed score
 ///    distribution, [`threshold::gap_thresholds`]),
 /// 2. enumerates candidate covers of the resulting failing set up to the
 ///    fault budget ([`decoder::covers_up_to`]),
-/// 3. ranks them by posterior under the ambient observation model
-///    ([`decoder::rank_covers`]) — covers predicting the wrong per-class
-///    fault multiplicities are pushed down even when their pass/fail
+/// 3. ranks them by the **fused** posterior over every observed round
+///    ([`decoder::CoverPosterior`]): per-round log-likelihoods sum at
+///    each point of a joint magnitude profile, so covers predicting the
+///    wrong per-class fault multiplicities — at *any* observed
+///    amplification — are pushed down even when their round-1 pass/fail
 ///    pattern matches exactly,
 /// 4. accuses the posterior-marginal-best coupling and point-verifies
 ///    its magnitude.
 ///
+/// When the fused posterior is still ambiguous (no consensus member),
+/// up to [`MultiFaultConfig::fusion_rounds`] extra adaptive rounds
+/// re-run the class battery at another rung of the repetition ladder
+/// and accumulate the fresh scores into the posterior — each with its
+/// own re-calibrated cut ([`threshold::contrast_threshold`]) that
+/// eliminates covers the new evidence decisively contradicts. Only
+/// after the fusion budget is spent does the loop fall back to
+/// re-interpreting round-1 scores at gap thresholds (PR 3's walk).
+///
 /// A verified accusation is returned for exclusion (the sequential loop
 /// then re-diagnoses the remainder); a refuted one is vetoed from later
-/// rounds' candidate pools. Like the paper's pipeline, each round costs
-/// one adaptation and one verification test — no extra class tests.
+/// rounds' candidate pools.
 #[allow(clippy::too_many_arguments)]
 fn ranked_isolate<E: TestExecutor>(
     exec: &mut E,
@@ -412,6 +490,7 @@ fn ranked_isolate<E: TestExecutor>(
     config: &MultiFaultConfig,
     reps: usize,
     conflicted: &crate::single_fault::DiagnosisReport,
+    tie_margin: f64,
     tests_run: &mut usize,
     adaptations: &mut usize,
 ) -> Option<Coupling> {
@@ -422,7 +501,8 @@ fn ranked_isolate<E: TestExecutor>(
     let observed: Vec<(SubcubeClass, f64)> =
         classes.iter().copied().zip(conflicted.tests.iter().map(|t| t.fidelity)).collect();
     let scores: Vec<f64> = observed.iter().map(|&(_, s)| s).collect();
-    let model = CoverModel::new(reps, config.score, config.ranked_sigma);
+    let mut posterior = decoder::CoverPosterior::new();
+    posterior.observe(observed.clone(), CoverModel::new(reps, config.score, config.ranked_sigma));
 
     // Round thresholds: the configured one first, then the score gaps.
     let mut thresholds = vec![config.threshold];
@@ -432,9 +512,20 @@ fn ranked_isolate<E: TestExecutor>(
         config.max_threshold_retunes,
     ));
 
+    // Fresh-evidence rungs: the ladder's other repetition counts, each
+    // probed at most once — re-probing a rung the posterior has already
+    // absorbed adds no information on a deterministic score model. Only
+    // the *spendable* fusion budget extends the round count; a ladder
+    // with no other rungs keeps the plain retune budget.
+    let probe_rungs: Vec<usize> =
+        config.reps_ladder.iter().copied().filter(|&r| r != reps).collect();
+    let fusion_budget = config.fusion_rounds.min(probe_rungs.len());
+    let mut fusion_left = fusion_budget;
+    let mut probe_idx = 0usize;
+
     let mut vetoed: BTreeSet<Coupling> = BTreeSet::new();
     let mut t_idx = 0usize;
-    for _round in 0..config.max_threshold_retunes {
+    for _round in 0..config.max_threshold_retunes + fusion_budget {
         let t = thresholds[t_idx.min(thresholds.len() - 1)];
         let failing: FailingSet = observed
             .iter()
@@ -457,10 +548,52 @@ fn ranked_isolate<E: TestExecutor>(
             config.max_faults.max(1),
             RANKED_COVER_CAP,
         );
-        let ranked = decoder::rank_covers(&covers, &observed, &model);
-        let Some(accused) = decoder::consensus_accusation(&ranked) else {
-            // Genuine ambiguity at this threshold: re-calibrate into the
-            // next score gap and re-interpret the failing set.
+        let ranked = posterior.rank(&covers);
+        let accused = match decoder::consensus_accusation_within(&ranked, tie_margin) {
+            Some(c) => Some(c),
+            None if fusion_left > 0 => {
+                // Ambiguous under all evidence so far: spend a fusion
+                // round — re-run the class battery at the next unprobed
+                // ladder rung and fuse its scores into the posterior,
+                // with the round's own re-calibrated cut.
+                let probe_reps = probe_rungs[probe_idx];
+                probe_idx += 1;
+                fusion_left -= 1;
+                let u_hat = ranked
+                    .first()
+                    .map(|rc| rc.magnitude)
+                    .unwrap_or_else(|| config.fault_magnitude.max(0.25));
+                fuse_class_round(
+                    exec,
+                    space,
+                    excluded,
+                    config,
+                    reps,
+                    probe_reps,
+                    u_hat,
+                    &classes,
+                    &mut posterior,
+                    tests_run,
+                    adaptations,
+                );
+                continue; // same threshold, fused evidence
+            }
+            None if config.decoder == DecoderPolicy::Interrogate => {
+                // Every rung has been fused and the surviving covers
+                // still disagree. The paper's pipeline stops here (the
+                // Table II failure residue); the interrogation extension
+                // instead point-tests the disputed member the fused
+                // marginal weights highest — a faulty outcome is a
+                // diagnosis, a healthy one eliminates every cover
+                // containing it. Only a fully empty candidate set falls
+                // through to the gap walk.
+                decoder::marginal_accusation(&ranked)
+            }
+            None => None,
+        };
+        let Some(accused) = accused else {
+            // No candidate left at this cut: re-calibrate into the next
+            // score gap and re-interpret the round-1 failing set.
             t_idx += 1;
             if t_idx >= thresholds.len() {
                 return None; // walk saturated: further rounds are identical
@@ -477,6 +610,55 @@ fn ranked_isolate<E: TestExecutor>(
         vetoed.insert(accused);
     }
     None
+}
+
+/// One cross-round evidence-fusion round: runs the full first-round
+/// class battery at `probe_reps` repetitions and accumulates the analog
+/// scores into the cover posterior, with the round's pass/fail cut
+/// re-calibrated to the fitted magnitude `u_hat`
+/// ([`threshold::contrast_threshold`]) and its noise width rescaled to
+/// the rung ([`threshold::rescale_sigma`]). Costs one adaptation plus
+/// one class battery.
+#[allow(clippy::too_many_arguments)]
+fn fuse_class_round<E: TestExecutor>(
+    exec: &mut E,
+    space: &LabelSpace,
+    excluded: &BTreeSet<Coupling>,
+    config: &MultiFaultConfig,
+    from_reps: usize,
+    probe_reps: usize,
+    u_hat: f64,
+    classes: &[SubcubeClass],
+    posterior: &mut decoder::CoverPosterior,
+    tests_run: &mut usize,
+    adaptations: &mut usize,
+) {
+    *adaptations += 1;
+    let compiled: usize = classes.iter().map(|c| c.couplings(space, excluded).len()).sum();
+    exec.note_adaptation(compiled);
+    let fresh: Vec<(SubcubeClass, f64)> = classes
+        .iter()
+        .map(|&class| {
+            let couplings = class.couplings(space, excluded);
+            if couplings.is_empty() {
+                return (class, 1.0); // nothing under test: trivially clean
+            }
+            let spec = TestSpec::for_couplings(
+                format!("fusion {class} x{probe_reps}MS"),
+                &couplings,
+                probe_reps,
+            )
+            .with_score(config.score);
+            *tests_run += 1;
+            (class, exec.run_test(&spec, config.shots))
+        })
+        .collect();
+    let sigma = threshold::rescale_sigma(config.ranked_sigma, from_reps, probe_reps);
+    posterior.observe_round(decoder::EvidenceRound {
+        observed: fresh,
+        model: CoverModel::new(probe_reps, config.score, sigma),
+        veto_threshold: Some(threshold::contrast_threshold(u_hat, probe_reps)),
+    });
 }
 
 /// Extension path: on conflicting syndromes, re-observe the first-round
@@ -543,6 +725,7 @@ mod tests {
             score: ScoreMode::ExactTarget,
             canary_score: ScoreMode::ExactTarget,
             max_threshold_retunes: 0,
+            fusion_rounds: 0,
             fault_magnitude: 0.10,
         }
     }
@@ -640,6 +823,75 @@ mod tests {
         let report = diagnose_all(&mut exec, 8, &cfg);
         assert!(report.converged, "{report:?}");
         assert_eq!(report.couplings(), vec![a, b]);
+    }
+
+    #[test]
+    fn inconclusive_union_syndrome_is_diagnosed_by_fusion_routing() {
+        // Three equal faults sharing qubit 4: the union syndrome
+        // (0,0),(1,0),(2,1) has no bit conflict — the single-fault
+        // protocol reports Inconclusive, the failure mode that dominated
+        // the 3-fault Table II cell before the evidence-fusion decoder
+        // was routed these records. PR 3's pipeline abandoned such
+        // trials with zero accusations; the fused posterior's consensus
+        // must now accuse and verify the member every near-optimal
+        // cover shares ({0,4}). The remainder genuinely aliases
+        // (several disjoint perfect-fit explanations — the paper's
+        // residual failure class), so the paper-faithful policy stops
+        // honestly there, while the interrogation extension point-tests
+        // the dispute and recovers the full planted set.
+        let truth = [Coupling::new(0, 4), Coupling::new(2, 4), Coupling::new(4, 5)];
+        let mut expect = truth.to_vec();
+        expect.sort();
+        let mut cfg = config();
+        cfg.max_threshold_retunes = 4;
+        cfg.fusion_rounds = 2;
+
+        cfg.decoder = DecoderPolicy::Ranked;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert_eq!(
+            report.couplings(),
+            vec![Coupling::new(0, 4)],
+            "consensus must verify the shared member: {report:?}"
+        );
+        assert!(!report.converged, "the aliased remainder must be reported, not guessed");
+
+        cfg.decoder = DecoderPolicy::Interrogate;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), expect);
+    }
+
+    #[test]
+    fn interrogation_extension_splits_aliasing_family_ranked_cannot() {
+        // {2,7} and {4,7} produce a length-2 union aliased against the
+        // healthy {6,7} (identical class scores), plus the invisible
+        // complementary {1,6}: the paper-faithful ranked policy must
+        // stop without a false accusation, while the interrogation
+        // extension point-tests the disputed members and recovers the
+        // full planted set.
+        let truth = [Coupling::new(1, 6), Coupling::new(2, 7), Coupling::new(4, 7)];
+        let mut expect = truth.to_vec();
+        expect.sort();
+
+        let mut cfg = config();
+        cfg.max_threshold_retunes = 4;
+        cfg.fusion_rounds = 2;
+
+        cfg.decoder = DecoderPolicy::Ranked;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let ranked_report = diagnose_all(&mut exec, 8, &cfg);
+        assert_ne!(ranked_report.couplings(), expect, "fixture must actually defeat ranked");
+        for d in &ranked_report.diagnosed {
+            assert!(truth.contains(&d.coupling), "no false accusations under ranked");
+        }
+
+        cfg.decoder = DecoderPolicy::Interrogate;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), expect);
     }
 
     #[test]

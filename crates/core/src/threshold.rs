@@ -101,6 +101,28 @@ pub fn observation_sigma(shots: usize, ambient_mean_abs: f64, reps: usize) -> f6
     (shot * shot + ambient * ambient).sqrt().max(MODEL_ERROR_FLOOR)
 }
 
+/// Per-round threshold re-calibration for a fused evidence round at
+/// `reps` repetitions: the pass/fail cut sits at the midpoint of the
+/// fault-vs-healthy contrast interval — between the score a fault of
+/// the posterior's fitted magnitude `u_hat` predicts on an isolated
+/// point test and the healthy band at 1. This is Fig. 5's "the
+/// threshold is adjusted … to maximise the fault vs no-fault contrast"
+/// applied per adaptive round, with the contrast centre supplied by the
+/// evidence accumulated so far instead of a hand-tuned constant.
+pub fn contrast_threshold(u_hat: f64, reps: usize) -> f64 {
+    (1.0 + crate::executor::point_test_fidelity(u_hat, reps)) / 2.0
+}
+
+/// Per-round observation-noise re-calibration: rescales the round-1
+/// noise width `sigma_round1` (calibrated at `from_reps`) to a fused
+/// evidence round at `to_reps`. The ambient-calibration component of
+/// [`observation_sigma`] grows linearly with amplification while shot
+/// noise and the model floor do not, so a linear rescale clamped to the
+/// floor is the conservative choice for both directions.
+pub fn rescale_sigma(sigma_round1: f64, from_reps: usize, to_reps: usize) -> f64 {
+    (sigma_round1 * to_reps as f64 / from_reps.max(1) as f64).max(MODEL_ERROR_FLOOR)
+}
+
 /// Candidate re-calibrated thresholds for a disambiguation round:
 /// midpoints of the gaps between the distinct observed scores, ascending,
 /// keeping only values below `below` and at most `max` of them. This is
@@ -145,6 +167,30 @@ mod tests {
         let t2 = calibrate_threshold(8, 2, 0.10, 0.05, 60, &mut rng);
         let t4 = calibrate_threshold(8, 4, 0.10, 0.05, 60, &mut rng);
         assert!(t4 < t2, "t4 {t4} must sit below t2 {t2}");
+    }
+
+    #[test]
+    fn contrast_threshold_separates_fault_from_healthy() {
+        // The re-calibrated cut must sit strictly between the fault's
+        // predicted point score and the healthy band, at every rung.
+        for &u in &[0.10, 0.22, 0.30, 0.47] {
+            for reps in [2usize, 4, 8] {
+                let t = contrast_threshold(u, reps);
+                let fault = crate::executor::point_test_fidelity(u, reps);
+                assert!(fault < t && t < 1.0, "u={u} reps={reps}: {fault} !< {t} !< 1");
+            }
+        }
+        // Deeper rounds amplify the fault further, so their cut drops.
+        assert!(contrast_threshold(0.22, 4) < contrast_threshold(0.22, 2));
+    }
+
+    #[test]
+    fn rescale_sigma_tracks_amplification_with_floor() {
+        // Up-amplified rounds widen linearly; down-amplified rounds
+        // narrow but never below the forward-model floor.
+        assert!((rescale_sigma(0.08, 4, 8) - 0.16).abs() < 1e-12);
+        assert_eq!(rescale_sigma(0.04, 4, 2), MODEL_ERROR_FLOOR);
+        assert!(rescale_sigma(0.10, 4, 2) >= MODEL_ERROR_FLOOR);
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn main() {
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,
+        fusion_rounds: 2,
         fault_magnitude: 0.10,
     };
     let report = diagnose_all(&mut trap, n, &config);

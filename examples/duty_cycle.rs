@@ -46,6 +46,7 @@ fn config() -> MultiFaultConfig {
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,
+        fusion_rounds: 0,
         fault_magnitude: 0.10,
     }
 }

@@ -19,6 +19,7 @@ fn multi_config(ladder: Vec<usize>, threshold: f64, canary_threshold: f64) -> Mu
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 4,
+        fusion_rounds: 0,
         fault_magnitude: 0.10,
     }
 }

@@ -28,6 +28,7 @@ fn catastrophic_drift_fails_gracefully() {
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::WorstQubit,
         max_threshold_retunes: 2,
+        fusion_rounds: 0,
         fault_magnitude: 0.10,
     };
     let report = diagnose_all(&mut trap, 8, &config);
@@ -116,6 +117,7 @@ fn excluding_every_coupling_is_a_clean_no_op() {
         score: ScoreMode::ExactTarget,
         canary_score: ScoreMode::ExactTarget,
         max_threshold_retunes: 0,
+        fusion_rounds: 0,
         fault_magnitude: 0.10,
     };
     let report = itqc::core::multi_fault::diagnose_all_excluding(&mut trap, 4, &config, &all);
