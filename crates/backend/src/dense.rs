@@ -1,0 +1,238 @@
+//! The dense reference backend.
+//!
+//! Wraps the general state-vector simulator behind [`SimBackend`].
+//! Before simulating, the circuit is *compressed onto its support*: the
+//! state vector covers only the qubits some gate touches, so a sparse
+//! circuit on a large register costs `2^support`, not `2^N` — a
+//! 32-qubit register whose test circuit touches 16 qubits stays within
+//! reach, and the dense-vs-analytic cross-check can run at any size the
+//! support allows. Memory remains exponential in the support; the
+//! analytic backend is the scalable path for commuting-XX circuits.
+
+use crate::dist::{connected_components, sample_strings, ComponentDist};
+use crate::{BackendError, PreparedCircuit, SimBackend};
+use itqc_circuit::{Circuit, Op};
+use itqc_sim::statevector::MAX_QUBITS;
+use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The dense state-vector backend (stateless; preparations are not
+/// cached — the backend exists as the exact reference and the fallback
+/// for non-commuting circuits, not as a hot path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseBackend;
+
+impl DenseBackend {
+    /// A dense backend.
+    pub fn new() -> Self {
+        DenseBackend
+    }
+}
+
+impl SimBackend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> Result<Rc<dyn PreparedCircuit>, BackendError> {
+        Ok(Rc::new(DensePrepared::build(circuit)?))
+    }
+}
+
+/// A dense preparation: the support-compressed output distribution plus
+/// its component factorization for canonical sampling.
+#[derive(Clone, Debug)]
+pub struct DensePrepared {
+    n_qubits: usize,
+    /// Touched qubits, ascending; local bit `k` ↔ `support[k]`.
+    support: Vec<usize>,
+    /// `2^support.len()` outcome probabilities in support-local indexing.
+    probs: Vec<f64>,
+    components: Vec<ComponentDist>,
+}
+
+impl DensePrepared {
+    fn build(circuit: &Circuit) -> Result<Self, BackendError> {
+        let n_qubits = circuit.n_qubits();
+        let mut support: Vec<usize> =
+            circuit.ops().iter().flat_map(|op| op.qubits().iter().copied()).collect();
+        support.sort_unstable();
+        support.dedup();
+        let m = support.len();
+        if m > MAX_QUBITS {
+            return Err(BackendError::SupportTooLarge { support: m, limit: MAX_QUBITS });
+        }
+        if m == 0 {
+            return Ok(DensePrepared {
+                n_qubits,
+                support,
+                probs: vec![1.0],
+                components: Vec::new(),
+            });
+        }
+        // Remap onto the support and run the full simulator.
+        let local: BTreeMap<usize, usize> =
+            support.iter().enumerate().map(|(k, &q)| (q, k)).collect();
+        let mut compressed = Circuit::new(m);
+        let mut edges = Vec::new();
+        for op in circuit.ops() {
+            let q = op.qubits();
+            match q.len() {
+                1 => {
+                    compressed.push(Op::one(op.gate, local[&q[0]]));
+                }
+                _ => {
+                    compressed.push(Op::two(op.gate, local[&q[0]], local[&q[1]]));
+                    edges.push((local[&q[0]], local[&q[1]]));
+                }
+            }
+        }
+        let probs = itqc_sim::run(&compressed).probabilities();
+        // Factorize over interaction-graph components by marginalizing
+        // the dense distribution onto each component's qubits.
+        let components = connected_components(m, &edges)
+            .into_iter()
+            .map(|members| {
+                let mut comp_probs = vec![0.0f64; 1usize << members.len()];
+                for (state, &p) in probs.iter().enumerate() {
+                    let mut idx = 0usize;
+                    for (k, &member) in members.iter().enumerate() {
+                        if (state >> member) & 1 == 1 {
+                            idx |= 1 << k;
+                        }
+                    }
+                    comp_probs[idx] += p;
+                }
+                let qubits = members.into_iter().map(|k| support[k]).collect();
+                ComponentDist::new(qubits, &comp_probs)
+            })
+            .collect();
+        Ok(DensePrepared { n_qubits, support, probs, components })
+    }
+
+    /// Maps a full-register basis string onto the support-local index,
+    /// or `None` if an off-support bit is set (probability 0).
+    fn local_index(&self, target: usize) -> Option<usize> {
+        let mut idx = 0usize;
+        let mut seen = 0usize;
+        for (k, &q) in self.support.iter().enumerate() {
+            if (target >> q) & 1 == 1 {
+                idx |= 1 << k;
+            }
+            seen |= 1 << q;
+        }
+        if target & !seen != 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+}
+
+impl PreparedCircuit for DensePrepared {
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    fn probability(&self, target: usize) -> f64 {
+        match self.local_index(target) {
+            Some(idx) => self.probs[idx],
+            None => 0.0,
+        }
+    }
+
+    fn marginal_one(&self, q: usize) -> f64 {
+        let Ok(k) = self.support.binary_search(&q) else {
+            return 0.0; // untouched qubits stay |0⟩
+        };
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|&(state, _)| (state >> k) & 1 == 1)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+        sample_strings(&self.components, rng, shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn support_compression_reaches_beyond_dense_register_wall() {
+        // One MS pair on a 40-qubit register: support 2, trivially dense.
+        let mut c = Circuit::new(40);
+        c.xx(3, 37, FRAC_PI_2);
+        let prep = DensePrepared::build(&c).unwrap();
+        assert_eq!(prep.support(), &[3, 37]);
+        assert!((prep.probability(0) - 0.5).abs() < 1e-12);
+        assert!((prep.probability((1 << 3) | (1 << 37)) - 0.5).abs() < 1e-12);
+        assert_eq!(prep.probability(1 << 5), 0.0);
+        assert!((prep.marginal_one(3) - 0.5).abs() < 1e-12);
+        assert_eq!(prep.marginal_one(5), 0.0);
+    }
+
+    #[test]
+    fn general_gates_are_accepted() {
+        // Non-XX circuits run on the dense path (H + CNOT Bell pair).
+        let mut c = Circuit::new(6);
+        c.h(1).cnot(1, 4);
+        let prep = DensePrepared::build(&c).unwrap();
+        assert!((prep.probability(0) - 0.5).abs() < 1e-12);
+        assert!((prep.probability((1 << 1) | (1 << 4)) - 0.5).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for s in prep.sample(&mut rng, 100) {
+            // Bell pair: bits 1 and 4 always agree, others stay 0.
+            assert_eq!((s >> 1) & 1, (s >> 4) & 1);
+            assert_eq!(s & !((1 << 1) | (1 << 4)), 0);
+        }
+    }
+
+    #[test]
+    fn empty_circuit_is_deterministic_zero() {
+        let c = Circuit::new(5);
+        let prep = DensePrepared::build(&c).unwrap();
+        assert_eq!(prep.probability(0), 1.0);
+        assert_eq!(prep.probability(1), 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(prep.sample(&mut rng, 10).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn component_marginalization_matches_full_distribution() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 6;
+        let mut c = Circuit::new(n);
+        for _ in 0..7 {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            c.xx(a, b, rng.gen_range(-2.0..2.0));
+        }
+        let prep = DensePrepared::build(&c).unwrap();
+        // Product of component probabilities equals the joint for any
+        // target (components are unentangled).
+        for target in 0..(1usize << n) {
+            let joint = prep.probability(target);
+            let product: f64 =
+                prep.components.iter().map(|d| d.probability(d.local_state(target))).product();
+            let off_support = prep.local_index(target).is_none();
+            if !off_support {
+                assert!((joint - product).abs() < 1e-10, "target {target:06b}");
+            }
+        }
+    }
+}

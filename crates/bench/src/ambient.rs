@@ -1,5 +1,6 @@
 //! Ambient-calibration machinery shared by the scaling experiments.
 
+use itqc_backend::BackendChoice;
 use itqc_circuit::Coupling;
 use itqc_core::testplan::ScoreMode;
 use itqc_core::{first_round_classes, ExactExecutor, LabelSpace, TestSpec};
@@ -43,6 +44,19 @@ pub fn ambient_executor_uniform<R: Rng + ?Sized>(
     exec
 }
 
+/// [`ambient_executor_uniform`] routed through a simulation backend
+/// (same RNG consumption, so the ambient profile is identical) — the
+/// entry point of the backend-selected Fig. 8 detectability study.
+pub fn ambient_executor_uniform_with<R: Rng + ?Sized>(
+    n_qubits: usize,
+    bound: f64,
+    planted: &[(Coupling, f64)],
+    backend: BackendChoice,
+    rng: &mut R,
+) -> ExactExecutor {
+    ambient_executor_uniform(n_qubits, bound, planted, rng).with_backend(backend)
+}
+
 /// Calibrates a pass/fail threshold for the scaling experiments: the
 /// `quantile` of fault-free first-round test scores under uniform ambient
 /// error, for the given depth and score mode. With `shots > 0` the scores
@@ -68,6 +82,23 @@ pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
     stats::quantile(&scores, quantile)
 }
 
+/// The fault-free first-round class battery every threshold calibrator
+/// scores: one spec per non-empty class (consumes no RNG).
+fn calibration_battery(n_qubits: usize, reps: usize, score: ScoreMode) -> Vec<TestSpec> {
+    let space = LabelSpace::new(n_qubits);
+    let none = BTreeSet::new();
+    first_round_classes(&space)
+        .into_iter()
+        .filter_map(|class| {
+            let couplings = class.couplings(&space, &none);
+            if couplings.is_empty() {
+                return None;
+            }
+            Some(TestSpec::for_couplings("amb", &couplings, reps).with_score(score))
+        })
+        .collect()
+}
+
 /// One calibration trial shared by the serial and parallel threshold
 /// calibrators: draws a fault-free ambient machine and appends the
 /// (optionally shot-sampled) score of every non-empty first-round
@@ -81,16 +112,8 @@ fn fault_free_trial_scores<R: Rng + ?Sized>(
     rng: &mut R,
     scores: &mut Vec<f64>,
 ) {
-    let space = LabelSpace::new(n_qubits);
-    let classes = first_round_classes(&space);
-    let none = BTreeSet::new();
     let exec = ambient_executor_uniform(n_qubits, ambient_bound, &[], rng);
-    for class in &classes {
-        let couplings = class.couplings(&space, &none);
-        if couplings.is_empty() {
-            continue;
-        }
-        let spec = TestSpec::for_couplings("amb", &couplings, reps).with_score(score);
+    for spec in calibration_battery(n_qubits, reps, score) {
         let exact = exec.exact_score(&spec);
         let observed = if shots == 0 {
             exact
@@ -99,6 +122,44 @@ fn fault_free_trial_scores<R: Rng + ?Sized>(
         };
         scores.push(observed);
     }
+}
+
+/// String-statistic threshold calibration for the backend-routed
+/// detectability study: like [`calibrate_threshold_uniform_par`], but
+/// every score is computed from `shots` *sampled output strings* via
+/// [`crate::StringSampled`] — the same statistic the protocol under
+/// test thresholds, which matters because the minimum over correlated
+/// per-qubit counts sits systematically below a binomial draw of the
+/// exact minimum marginal. Thread-invariant via per-trial seed streams.
+#[allow(clippy::too_many_arguments)]
+pub fn calibrate_threshold_strings_par(
+    threads: usize,
+    n_qubits: usize,
+    reps: usize,
+    ambient_bound: f64,
+    score: ScoreMode,
+    shots: usize,
+    quantile: f64,
+    trials: usize,
+    backend: BackendChoice,
+    master_seed: u64,
+) -> f64 {
+    let per_trial = crate::par_trials::par_trials(
+        threads,
+        trials,
+        |t| crate::par_trials::split_seed(master_seed, t),
+        |_, rng| {
+            use itqc_core::TestExecutor;
+            let exec = ambient_executor_uniform_with(n_qubits, ambient_bound, &[], backend, rng);
+            let mut sampler = crate::StringSampled::new(exec, rng.gen());
+            calibration_battery(n_qubits, reps, score)
+                .iter()
+                .map(|spec| sampler.run_test(spec, shots))
+                .collect::<Vec<f64>>()
+        },
+    );
+    let scores: Vec<f64> = per_trial.into_iter().flatten().collect();
+    stats::quantile(&scores, quantile)
 }
 
 /// Parallel version of [`calibrate_threshold_uniform`]: trials run on

@@ -1,9 +1,10 @@
 //! Minimal CLI-argument parsing for the harness binaries.
 
+use itqc_backend::BackendChoice;
 use itqc_core::DecoderPolicy;
 
 /// Common harness options:
-/// `--trials=N  --seed=S  --threads=N  --decoder=P  --csv  --fast`.
+/// `--trials=N  --seed=S  --threads=N  --decoder=P  --backend=B  --csv  --fast`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
@@ -16,6 +17,10 @@ pub struct Args {
     /// Multi-fault decoder policy override (`greedy|ranked|set-cover`);
     /// `None` keeps each binary's paper default (ranked).
     pub decoder: Option<DecoderPolicy>,
+    /// Simulation backend for the scaling binaries
+    /// (`dense|analytic|auto`; default `auto` — analytic for
+    /// commuting-XX circuits, dense fallback otherwise).
+    pub backend: BackendChoice,
     /// Emit CSV after the human-readable tables.
     pub csv: bool,
     /// Shrink workloads for smoke testing.
@@ -33,6 +38,7 @@ impl Args {
             seed: 20220402,
             threads: 0,
             decoder: None,
+            backend: BackendChoice::Auto,
             csv: false,
             fast: false,
         };
@@ -52,6 +58,10 @@ impl Args {
             } else if let Some(v) = arg.strip_prefix("--decoder=") {
                 if let Ok(p) = v.parse() {
                     out.decoder = Some(p);
+                }
+            } else if let Some(v) = arg.strip_prefix("--backend=") {
+                if let Ok(b) = v.parse() {
+                    out.backend = b;
                 }
             } else if arg == "--csv" {
                 out.csv = true;
@@ -99,7 +109,21 @@ mod tests {
     use super::*;
 
     fn args() -> Args {
-        Args { trials: 10, seed: 1, threads: 0, decoder: None, csv: false, fast: false }
+        Args {
+            trials: 10,
+            seed: 1,
+            threads: 0,
+            decoder: None,
+            backend: BackendChoice::Auto,
+            csv: false,
+            fast: false,
+        }
+    }
+
+    #[test]
+    fn backend_choice_parses() {
+        assert_eq!("analytic".parse::<BackendChoice>(), Ok(BackendChoice::Analytic));
+        assert_eq!(args().backend, BackendChoice::Auto);
     }
 
     #[test]

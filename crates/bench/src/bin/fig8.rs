@@ -3,106 +3,87 @@
 //! For N = 8, 16, 32 qubits and 2-MS / 4-MS tests: one coupling receives a
 //! swept under-rotation `u` while every other coupling carries a random
 //! ±10% ambient calibration error (the paper's "10% average calibration
-//! error" noise floor). Reported per sweep point:
+//! error" noise floor). Reported per sweep point: the mean worst-qubit
+//! score of tests containing the faulty pair vs those not containing it
+//! (the paper's solid curves and dashed ambient baselines), and the
+//! probability that the full single-fault protocol identifies the planted
+//! coupling — with the minimum `u` reaching 95% identification (paper:
+//! 2MS ≈ 25/30/35%, 4MS ≈ 20/25/30% for 8/16/32 qubits).
 //!
-//! * the mean score of tests containing the faulty pair vs those not
-//!   containing it (the paper's solid curves and dashed "average fidelity
-//!   absent calibration outliers" baselines), and
-//! * the probability that the full single-fault protocol identifies the
-//!   planted coupling, with the minimum `u` reaching 95% identification
-//!   (paper: 2MS ≈ 25/30/35%, 4MS ≈ 20/25/30% for 8/16/32 qubits).
-//!
-//! Tests use the worst-qubit population score: as derived in DESIGN.md §3,
-//! the exact-output-string probability of a class test decays
-//! exponentially in the number of in-class couplings under ambient error
-//! (~10⁻² at 16 qubits, ~10⁻⁴ at 32), so no threshold on it can work at
-//! scale — per-qubit populations are what a scalable single-output test
-//! thresholds, and what keeps this figure's contrast alive at 32 qubits.
+//! The measurement itself lives in `itqc_bench::detectability` on the
+//! deterministic parallel trial engine; this binary only renders it.
+//! Every shot is a genuine output string drawn through the pluggable
+//! simulation-backend subsystem — select the engine with
+//! `--backend=dense|analytic|auto` (the analytic engine factorizes each
+//! test over its coupling-graph components, which is what makes the
+//! 32-qubit sweep minutes-scale; `dense` is the exact cross-check,
+//! feasible at N = 8). `--sizes=8,16` restricts the panel sizes (the CI
+//! cross-check runs `--sizes=8` under both backends and diffs stdout).
 
-use itqc_bench::ambient::{
-    ambient_executor_uniform, calibrate_threshold_uniform_par, random_couplings,
-};
+use itqc_bench::detectability::{fig8_curve, fig8_threshold, FIG8_SHOTS};
 use itqc_bench::output::{f3, pct, section, Table};
-use itqc_bench::{Args, ShotSampled};
-use itqc_core::testplan::ScoreMode;
-use itqc_core::{first_round_classes, Diagnosis, LabelSpace, SingleFaultProtocol, TestSpec};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::collections::BTreeSet;
-
-const AMBIENT: f64 = 0.10;
-const SHOTS: usize = 300;
-const SCORE: ScoreMode = ScoreMode::WorstQubit;
+use itqc_bench::Args;
 
 fn main() {
     let args = Args::parse(120);
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("--sizes=").map(str::to_owned))
+        .map(|v| {
+            let parsed: Vec<usize> = v
+                .split(',')
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| panic!("--sizes: '{s}' is not a machine size"))
+                })
+                .collect();
+            // A silently empty or unmatched selection would print empty
+            // tables and exit 0 — vacuously passing the CI cross-check.
+            assert!(
+                parsed.iter().any(|n| [8, 16, 32].contains(n)),
+                "--sizes={v} selects none of the measured sizes 8,16,32"
+            );
+            parsed
+        })
+        .unwrap_or_else(|| vec![8, 16, 32]);
     section("Fig. 8: fault contrast and identification vs under-rotation");
+    println!("backend: {}  shots/test: {FIG8_SHOTS}", args.backend);
 
-    let sweep: Vec<f64> = (0..=10).map(|k| 0.05 * k as f64).collect();
     let mut summary = Table::new(["qubits", "test", "threshold", "min u @ 95% ident", "paper"]);
     let paper_min = [[(8, 0.25), (16, 0.30), (32, 0.35)], [(8, 0.20), (16, 0.25), (32, 0.30)]];
 
     for (ri, reps) in [2usize, 4].into_iter().enumerate() {
         for (ni, n) in [8usize, 16, 32].into_iter().enumerate() {
+            if !sizes.contains(&n) {
+                continue;
+            }
             let tag = format!("fig8/n={n}/r={reps}");
-            let mut rng = SmallRng::seed_from_u64(args.seed_for(&tag));
-            let threshold = calibrate_threshold_uniform_par(
-                args.threads,
+            let threshold = fig8_threshold(
                 n,
                 reps,
-                AMBIENT,
-                SCORE,
-                SHOTS,
-                0.005,
                 60.max(args.trials / 2),
+                args.threads,
+                args.backend,
                 args.seed_for(&format!("{tag}/threshold")),
             );
             section(&format!("{n} qubits, {reps}-MS tests (threshold {})", f3(threshold)));
+            let curve = fig8_curve(
+                n,
+                reps,
+                threshold,
+                args.trials,
+                args.threads,
+                args.backend,
+                args.seed_for(&tag),
+            );
 
-            let space = LabelSpace::new(n);
-            let classes = first_round_classes(&space);
-            let none = BTreeSet::new();
             let mut table =
                 Table::new(["under-rot", "faulty-test score", "healthy-test score", "P(identify)"]);
-            let mut min_u95: Option<f64> = None;
-            for &u in &sweep {
-                let mut faulty_s = Vec::new();
-                let mut healthy_s = Vec::new();
-                let mut identified = 0usize;
-                for trial in 0..args.trials {
-                    let target = random_couplings(n, 1, &mut rng)[0];
-                    let exec = ambient_executor_uniform(n, AMBIENT, &[(target, u)], &mut rng);
-                    for class in &classes {
-                        let couplings = class.couplings(&space, &none);
-                        let spec = TestSpec::for_couplings("t", &couplings, reps).with_score(SCORE);
-                        let s = exec.exact_score(&spec);
-                        if couplings.contains(&target) {
-                            faulty_s.push(s);
-                        } else {
-                            healthy_s.push(s);
-                        }
-                    }
-                    let mut shot_exec = ShotSampled::for_trial(
-                        exec,
-                        args.seed_for(&format!("{tag}/u{u:.2}")),
-                        trial,
-                    );
-                    let protocol =
-                        SingleFaultProtocol::new(n, reps, threshold, SHOTS).with_score(SCORE);
-                    let report = protocol.diagnose(&mut shot_exec);
-                    if report.diagnosis == Diagnosis::Fault(target) {
-                        identified += 1;
-                    }
-                }
-                let p_id = identified as f64 / args.trials as f64;
-                if p_id >= 0.95 && min_u95.is_none() {
-                    min_u95 = Some(u);
-                }
+            for p in &curve.points {
                 table.row([
-                    pct(u),
-                    f3(itqc_math::stats::mean(&faulty_s)),
-                    f3(itqc_math::stats::mean(&healthy_s)),
-                    f3(p_id),
+                    pct(p.under_rotation),
+                    f3(p.faulty_mean),
+                    f3(p.healthy_mean),
+                    f3(p.p_identify),
                 ]);
             }
             println!("{}", table.render());
@@ -114,7 +95,7 @@ fn main() {
                 n.to_string(),
                 format!("{reps}MS"),
                 f3(threshold),
-                min_u95.map(pct).unwrap_or_else(|| ">50%".into()),
+                curve.min_u_at(0.95).map(pct).unwrap_or_else(|| ">50%".into()),
                 pct(paper),
             ]);
         }

@@ -25,6 +25,7 @@
 pub mod ambient;
 pub mod args;
 pub mod coupling_census;
+pub mod detectability;
 pub mod duty_cycle;
 pub mod echo;
 pub mod natural_faults;
@@ -38,7 +39,8 @@ pub mod speedup;
 
 pub use ambient::ambient_executor;
 pub use args::Args;
+pub use detectability::{fig8_curve, fig8_threshold, DetectabilityCurve};
 pub use output::Table;
 pub use par_trials::{par_map, par_trials, split_seed};
 pub use protocol_stats::table2_identification_rate;
-pub use shot_exec::ShotSampled;
+pub use shot_exec::{ShotSampled, StringSampled};

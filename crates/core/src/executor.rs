@@ -6,11 +6,13 @@
 //! hardware detail and directly checkable against oracles.
 
 use crate::testplan::{ScoreMode, TestSpec};
-use itqc_circuit::Coupling;
+use itqc_backend::{Backend, BackendChoice, PreparedCircuit, SimBackend as _};
+use itqc_circuit::{Circuit, Coupling};
 use itqc_sim::XxCircuit;
 use itqc_trap::{Activity, VirtualTrap};
 use std::collections::BTreeMap;
 use std::f64::consts::FRAC_PI_2;
+use std::rc::Rc;
 
 /// Runs test circuits and reports observed target-state fidelity.
 pub trait TestExecutor {
@@ -30,16 +32,37 @@ pub trait TestExecutor {
 /// A noiseless, shot-free oracle executor driven by a known fault map —
 /// used by property tests and the Table II decoder study. Fidelities are
 /// computed exactly on the commuting-XX engine.
+///
+/// By default scores are evaluated on an inline commuting-XX fast path
+/// (bit-identical to the historical behaviour every pinned experiment
+/// seed depends on). [`ExactExecutor::with_backend`] routes evaluation
+/// through the pluggable [`itqc_backend`] subsystem instead, which adds
+/// a prepared-circuit cache and genuine output-string sampling for the
+/// scaling studies.
 #[derive(Clone, Debug)]
 pub struct ExactExecutor {
     n_qubits: usize,
     faults: BTreeMap<Coupling, f64>,
+    backend: Option<Backend>,
 }
 
 impl ExactExecutor {
     /// Creates a fault-free oracle.
     pub fn new(n_qubits: usize) -> Self {
-        ExactExecutor { n_qubits, faults: BTreeMap::new() }
+        ExactExecutor { n_qubits, faults: BTreeMap::new(), backend: None }
+    }
+
+    /// Routes score evaluation through a simulation backend
+    /// (`dense`/`analytic`/`auto`) instead of the inline fast path.
+    /// Clones of this executor share the backend's preparation cache.
+    pub fn with_backend(mut self, choice: BackendChoice) -> Self {
+        self.backend = Some(Backend::new(choice));
+        self
+    }
+
+    /// The routed backend, if [`Self::with_backend`] selected one.
+    pub fn backend(&self) -> Option<&Backend> {
+        self.backend.as_ref()
     }
 
     /// Sets the under-rotation of one coupling.
@@ -65,18 +88,62 @@ impl ExactExecutor {
         xx
     }
 
+    /// The noisy [`Circuit`] a spec compiles to on this machine — every
+    /// gate's angle scaled by its coupling's under-rotation. This is
+    /// what the simulation backends consume.
+    pub fn noisy_circuit(&self, spec: &TestSpec) -> Circuit {
+        let mut circuit = Circuit::new(self.n_qubits);
+        for &(coupling, theta) in &spec.gates {
+            let u = self.faults.get(&coupling).copied().unwrap_or(0.0);
+            let (a, b) = coupling.endpoints();
+            circuit.xx(a, b, theta * (1.0 - u));
+        }
+        circuit
+    }
+
+    /// Prepares a spec's noisy circuit on the routed backend (shot
+    /// samplers use this to draw genuine output strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backend was selected ([`Self::with_backend`]) or the
+    /// backend refuses the circuit (forced `dense` beyond the register
+    /// wall, forced `analytic` on non-XX gates — `auto` never refuses a
+    /// protocol test circuit).
+    pub fn prepare(&self, spec: &TestSpec) -> Rc<dyn PreparedCircuit> {
+        let backend = self.backend.as_ref().expect("no backend routed; call with_backend first");
+        match backend.prepare(&self.noisy_circuit(spec)) {
+            Ok(prepared) => prepared,
+            Err(e) => panic!("backend '{}' refused test '{}': {e}", backend.name(), spec.label),
+        }
+    }
+
     /// The exact target-state fidelity of a spec on this machine
     /// (ExactTarget scoring regardless of the spec's score mode).
     pub fn exact_fidelity(&self, spec: &TestSpec) -> f64 {
-        self.noisy_xx(spec).fidelity(spec.target)
+        match &self.backend {
+            None => self.noisy_xx(spec).fidelity(spec.target),
+            Some(_) => self.prepare(spec).probability(spec.target),
+        }
     }
 
     /// The exact score of a spec under its own [`ScoreMode`].
     pub fn exact_score(&self, spec: &TestSpec) -> f64 {
-        let xx = self.noisy_xx(spec);
-        match spec.score {
-            ScoreMode::ExactTarget => xx.fidelity(spec.target),
-            ScoreMode::WorstQubit => xx.min_qubit_agreement(spec.target),
+        match &self.backend {
+            None => {
+                let xx = self.noisy_xx(spec);
+                match spec.score {
+                    ScoreMode::ExactTarget => xx.fidelity(spec.target),
+                    ScoreMode::WorstQubit => xx.min_qubit_agreement(spec.target),
+                }
+            }
+            Some(_) => {
+                let prepared = self.prepare(spec);
+                match spec.score {
+                    ScoreMode::ExactTarget => prepared.probability(spec.target),
+                    ScoreMode::WorstQubit => prepared.min_qubit_agreement(spec.target),
+                }
+            }
         }
     }
 }
@@ -308,6 +375,37 @@ mod tests {
         let tri =
             predicted_class_score(&[c(0, 1), c(1, 2), c(0, 2)], 0.30, 4, ScoreMode::ExactTarget);
         assert!((tri - (d.cos().powi(6) + d.sin().powi(6))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_routed_scores_match_inline_fast_path() {
+        use itqc_backend::BackendChoice;
+        let faults =
+            [(Coupling::new(0, 3), 0.22), (Coupling::new(1, 2), -0.07), (Coupling::new(4, 5), 0.4)];
+        let inline = ExactExecutor::new(8).with_faults(faults);
+        let spec2 = TestSpec::for_couplings(
+            "t",
+            &[Coupling::new(0, 3), Coupling::new(1, 2), Coupling::new(4, 5), Coupling::new(6, 7)],
+            2,
+        );
+        let spec4 = spec2.clone().with_score(crate::testplan::ScoreMode::WorstQubit);
+        for choice in [BackendChoice::Dense, BackendChoice::Analytic, BackendChoice::Auto] {
+            let routed = inline.clone().with_backend(choice);
+            for spec in [&spec2, &spec4] {
+                assert!(
+                    (inline.exact_score(spec) - routed.exact_score(spec)).abs() < 1e-9,
+                    "{choice:?} disagrees on {}",
+                    spec.label
+                );
+                assert!((inline.exact_fidelity(spec) - routed.exact_fidelity(spec)).abs() < 1e-9);
+            }
+        }
+        // The analytic route reuses one preparation per distinct circuit.
+        let routed = inline.with_backend(BackendChoice::Analytic);
+        let _ = routed.exact_score(&spec2);
+        let _ = routed.exact_score(&spec2);
+        let (hits, _) = routed.backend().unwrap().analytic().cache_stats();
+        assert!(hits >= 1, "repeated spec must hit the preparation cache");
     }
 
     #[test]

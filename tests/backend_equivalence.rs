@@ -1,0 +1,139 @@
+//! Backend-equivalence property suite: the pluggable simulation
+//! backends must be interchangeable wherever both apply.
+//!
+//! On seeded random commuting-XX circuits at `N ≤ 12`, the
+//! `XxAnalyticBackend` (component-factorized Gray-code/Walsh–Hadamard
+//! engine) and the `DenseBackend` (support-compressed state vector)
+//! must agree on per-qubit marginals and exact output probabilities to
+//! `1e-9` — and, because both draw through the canonical
+//! component-ordered inverse-CDF sampler, their shot strings must match
+//! **bit for bit** under a shared RNG seed. The same holds one level
+//! up, through the backend-routed executor and the string-sampling shot
+//! wrapper the Fig. 8 study runs on.
+
+use itqc::prelude::*;
+use itqc_bench::StringSampled;
+use itqc_core::testplan::ScoreMode;
+use itqc_core::TestSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 40;
+
+/// A random pure-XX circuit on 2–12 qubits with 1–17 gates.
+fn random_xx_circuit(rng: &mut SmallRng) -> Circuit {
+    let n = rng.gen_range(2usize..=12);
+    let count = rng.gen_range(1usize..18);
+    let mut c = Circuit::new(n);
+    for _ in 0..count {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            c.xx(a, b, rng.gen_range(-3.0f64..3.0));
+        }
+    }
+    c
+}
+
+#[test]
+fn marginals_and_probabilities_agree_to_1e9() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xBAC0 + case);
+        let circuit = random_xx_circuit(&mut rng);
+        let n = circuit.n_qubits();
+        let dense = Backend::new(BackendChoice::Dense).prepare(&circuit).unwrap();
+        let analytic = Backend::new(BackendChoice::Analytic).prepare(&circuit).unwrap();
+        assert_eq!(dense.support(), analytic.support(), "case {case}");
+        for q in 0..n {
+            assert!(
+                (dense.marginal_one(q) - analytic.marginal_one(q)).abs() < 1e-9,
+                "case {case}, qubit {q}"
+            );
+        }
+        for _ in 0..8 {
+            let target = rng.gen::<usize>() & ((1 << n) - 1);
+            assert!(
+                (dense.probability(target) - analytic.probability(target)).abs() < 1e-9,
+                "case {case}, target {target:b}"
+            );
+            assert!(
+                (dense.min_qubit_agreement(target) - analytic.min_qubit_agreement(target)).abs()
+                    < 1e-9,
+                "case {case}, worst-qubit at {target:b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shot_sampling_matches_bit_for_bit_under_a_shared_seed() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5A3D + case);
+        let circuit = random_xx_circuit(&mut rng);
+        let dense = Backend::new(BackendChoice::Dense).prepare(&circuit).unwrap();
+        let analytic = Backend::new(BackendChoice::Analytic).prepare(&circuit).unwrap();
+        let shot_seed = rng.gen::<u64>();
+        let mut r1 = SmallRng::seed_from_u64(shot_seed);
+        let mut r2 = SmallRng::seed_from_u64(shot_seed);
+        let s1 = dense.sample(&mut r1, 128);
+        let s2 = analytic.sample(&mut r2, 128);
+        assert_eq!(s1, s2, "case {case}: shot strings diverged");
+        // Both RNG streams must have consumed identically (one draw per
+        // component per shot), so the next draw agrees too.
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "case {case}: RNG stream desynced");
+    }
+}
+
+#[test]
+fn routed_executors_and_string_sampler_agree_across_backends() {
+    // The full Fig. 8 stack: faulty executor → backend → sampled score.
+    for case in 0..12 {
+        let mut rng = SmallRng::seed_from_u64(0xE8EC + case);
+        let n = rng.gen_range(4usize..=10);
+        let fault = Coupling::new(rng.gen_range(0..n / 2), rng.gen_range(n / 2..n));
+        let u = rng.gen_range(0.05..0.45);
+        let couplings: Vec<Coupling> = {
+            let mut cs = vec![fault];
+            while cs.len() < 3 {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b && !cs.contains(&Coupling::new(a, b)) {
+                    cs.push(Coupling::new(a, b));
+                }
+            }
+            cs
+        };
+        let shot_seed = rng.gen::<u64>();
+        let score_with = |choice: BackendChoice, score: ScoreMode| {
+            let exec = ExactExecutor::new(n).with_fault(fault, u).with_backend(choice);
+            let spec = TestSpec::for_couplings("eq", &couplings, 4).with_score(score);
+            let exact = exec.exact_score(&spec);
+            let mut sampler = StringSampled::new(exec, shot_seed);
+            (exact, sampler.run_test(&spec, 300))
+        };
+        for score in [ScoreMode::ExactTarget, ScoreMode::WorstQubit] {
+            let (exact_d, shot_d) = score_with(BackendChoice::Dense, score);
+            let (exact_a, shot_a) = score_with(BackendChoice::Analytic, score);
+            assert!((exact_d - exact_a).abs() < 1e-9, "case {case} {score:?} exact");
+            assert_eq!(
+                shot_d.to_bits(),
+                shot_a.to_bits(),
+                "case {case} {score:?}: sampled scores must be identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_choice_matches_forced_analytic_on_xx_circuits() {
+    for case in 0..8 {
+        let mut rng = SmallRng::seed_from_u64(0xA070 + case);
+        let circuit = random_xx_circuit(&mut rng);
+        let auto = Backend::new(BackendChoice::Auto).prepare(&circuit).unwrap();
+        let analytic = Backend::new(BackendChoice::Analytic).prepare(&circuit).unwrap();
+        let seed = rng.gen::<u64>();
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        assert_eq!(auto.sample(&mut r1, 32), analytic.sample(&mut r2, 32), "case {case}");
+    }
+}

@@ -16,7 +16,9 @@
 //! a lookalike workload. Trial counts are capped so the whole suite
 //! stays within the CI job's ~5-minute budget on one vCPU.
 
+use itqc_backend::BackendChoice;
 use itqc_bench::coupling_census::{fig11_rows, suite_average_fraction};
+use itqc_bench::detectability::{fig8_curve, fig8_threshold};
 use itqc_bench::duty_cycle::{
     jobs_share_excluding_idle, mean_duty, periodic_policy, test_driven_policy,
 };
@@ -36,8 +38,16 @@ const PAPER_SEED: u64 = 20220402;
 
 /// Seeds derived exactly as the bench binaries derive them.
 fn seed_for(tag: &str) -> u64 {
-    Args { trials: 0, seed: PAPER_SEED, threads: 0, decoder: None, csv: false, fast: false }
-        .seed_for(tag)
+    Args {
+        trials: 0,
+        seed: PAPER_SEED,
+        threads: 0,
+        decoder: None,
+        backend: itqc_backend::BackendChoice::Auto,
+        csv: false,
+        fast: false,
+    }
+    .seed_for(tag)
 }
 
 /// One Table II cell at the binary's own per-cell seed.
@@ -150,6 +160,85 @@ fn table2_aliasing_decays_with_machine_size() {
     );
     let p3_16 = table2_cell(16, 3, 100);
     assert!(p3_16 <= 0.20, "3-fault 16-qubit cell {p3_16:.3} implausibly above the paper's 0.05");
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — contrast & detectability at scale (string-sampled shots via
+// the simulation-backend subsystem).
+// ---------------------------------------------------------------------
+
+/// One Fig. 8 panel at the binary's own seeds and reduced trials.
+fn fig8_min_u95(n: usize, reps: usize, trials: usize) -> Option<f64> {
+    let tag = format!("fig8/n={n}/r={reps}");
+    let threshold =
+        fig8_threshold(n, reps, 60, 0, BackendChoice::Auto, seed_for(&format!("{tag}/threshold")));
+    fig8_curve(n, reps, threshold, trials, 0, BackendChoice::Auto, seed_for(&tag)).min_u_at(0.95)
+}
+
+#[test]
+fn fig8_8q_and_16q_knees_match_paper_exactly() {
+    // Paper: minimum under-rotation at 95 % identification is 25/30 %
+    // (2-MS) and 20/25 % (4-MS) for 8/16 qubits; EXPERIMENTS.md measures
+    // all four exactly at the binary's seeds and 120 trials. At 60
+    // trials the binomial 95 % half-width at p ≈ 0.95 is ≈ 5.5 points,
+    // which can move the knee by at most one 5 %-grid step — so the
+    // assertion window is the paper value ± one step.
+    for (n, reps, paper) in [(8, 2, 0.25), (16, 2, 0.30), (8, 4, 0.20), (16, 4, 0.25)] {
+        let min_u = fig8_min_u95(n, reps, 60).expect("knee must exist below 50%");
+        assert!(
+            (min_u - paper).abs() < 0.05 + 1e-12,
+            "{n}q {reps}MS: min-u {min_u:.2} vs paper {paper:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig8_32q_knee_within_one_step_of_paper() {
+    // Paper: 30 % at 4-MS on 32 qubits. EXPERIMENTS.md measures 35 %:
+    // at the paper's own point the measured P(identify) is 0.942 — the
+    // shortfall is the verification point test (the highest-scoring
+    // faulty test) sitting ~1.7σ from the class-calibrated threshold.
+    // The pinned claim is therefore "within one 5 %-grid step": the
+    // knee must exist and land in 25–40 %. Reduced to 30 trials to keep
+    // the 32-qubit cell inside the CI budget (the knee is a plateau
+    // crossing, far less trial-sensitive than the plateau height).
+    let min_u = fig8_min_u95(32, 4, 30).expect("32q 4MS knee must exist below 50%");
+    assert!(
+        (0.25..=0.40).contains(&min_u),
+        "32q 4MS knee {min_u:.2} outside the paper's 30% ± one grid step"
+    );
+}
+
+#[test]
+fn fig8_contrast_shape_matches_paper_reading() {
+    // The qualitative claims of the figure, at the binary's seeds: the
+    // healthy baseline stays flat across the sweep while the faulty
+    // curve opens monotonically; deeper tests amplify (4-MS faulty
+    // scores sit below 2-MS at the same u); and a noise-floor fault is
+    // never 95 %-identifiable.
+    let tag = "fig8/n=8/r=2";
+    let t2 =
+        fig8_threshold(8, 2, 60, 0, BackendChoice::Auto, seed_for(&format!("{tag}/threshold")));
+    let c2 = fig8_curve(8, 2, t2, 60, 0, BackendChoice::Auto, seed_for(tag));
+    let tag4 = "fig8/n=8/r=4";
+    let t4 =
+        fig8_threshold(8, 4, 60, 0, BackendChoice::Auto, seed_for(&format!("{tag4}/threshold")));
+    let c4 = fig8_curve(8, 4, t4, 60, 0, BackendChoice::Auto, seed_for(tag4));
+    for c in [&c2, &c4] {
+        let healthy_drift =
+            (c.points.last().unwrap().healthy_mean - c.points.first().unwrap().healthy_mean).abs();
+        assert!(healthy_drift < 0.03, "healthy baseline drifted {healthy_drift:.3}");
+        assert!(c.points.first().unwrap().p_identify < 0.1, "u=0 must not be 'identified'");
+    }
+    for (p2, p4) in c2.points.iter().zip(&c4.points).skip(2) {
+        assert!(
+            p4.faulty_mean < p2.faulty_mean + 1e-9,
+            "4-MS must amplify at u={:.2}: {:.3} vs {:.3}",
+            p2.under_rotation,
+            p4.faulty_mean,
+            p2.faulty_mean
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -397,11 +486,11 @@ fn rb_error_brackets_paper_fidelity_and_grows_with_noise() {
 fn par_trials_aggregate_is_byte_identical_across_threads() {
     // The CI shell check diffs full binary stdout at two thread counts;
     // this is the same guarantee as an in-repo test, on the estimators
-    // the binaries aggregate — including the five library modules this
-    // PR extracted (fig6, fig7, fig10, fig11, rb). Per-trial seed
-    // streams make each trial's RNG independent of the worker that runs
-    // it, so every aggregate must be bit-identical — not merely close —
-    // at any thread count.
+    // the binaries aggregate — including the extracted library modules
+    // (fig6, fig7, fig8/detectability, fig10, fig11, rb). Per-trial
+    // seed streams make each trial's RNG independent of the worker that
+    // runs it, so every aggregate must be bit-identical — not merely
+    // close — at any thread count.
     let runs: Vec<String> = [1usize, 2, 8]
         .into_iter()
         .map(|threads| {
@@ -430,6 +519,22 @@ fn par_trials_aggregate_is_byte_identical_across_threads() {
                 push("fig6.4", row.fid4);
             }
             push("fig7", fig7_recovery_rate(2, threads, seed_for("fig7/mc")));
+            let t8 = fig8_threshold(
+                8,
+                2,
+                4,
+                threads,
+                BackendChoice::Auto,
+                seed_for("fig8/n=8/r=2/threshold"),
+            );
+            push("fig8.t", t8);
+            for p in fig8_curve(8, 2, t8, 3, threads, BackendChoice::Auto, seed_for("fig8/n=8/r=2"))
+                .points
+            {
+                push("fig8.f", p.faulty_mean);
+                push("fig8.h", p.healthy_mean);
+                push("fig8.p", p.p_identify);
+            }
             for row in fig10_rows(threads) {
                 push("fig10", row.speedup_non_adaptive);
             }
