@@ -3,8 +3,8 @@
 
 CARGO ?= cargo
 
-# The 12 evaluation binaries, in paper order.
-REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations
+# The 13 evaluation binaries, in paper order (extensions last).
+REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations fig_adv
 
 .PHONY: build test bench repro fmt lint clean
 

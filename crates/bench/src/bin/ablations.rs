@@ -128,6 +128,8 @@ fn main() {
                     max_threshold_retunes: retunes,
                     fusion_rounds: 2,
                     fault_magnitude: 0.10,
+                    canary_rotations: 0,
+                    canary_seed: 0,
                 };
                 let report = diagnose_all(&mut exec, 8, &config);
                 let mut truth = faults.clone();

@@ -70,6 +70,8 @@ fn trial<R: Rng + ?Sized>(
         max_threshold_retunes: 4,
         fusion_rounds: 2,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     };
     let report = diagnose_all(&mut shot_exec, n, &config);
     let found: std::collections::BTreeSet<_> = report.couplings().into_iter().collect();

@@ -1,0 +1,89 @@
+//! Adversarial fault-coverage scorecard — identification probability vs
+//! *configuration class*, with the countermeasures off and on.
+//!
+//! Table II and Fig. 8 score the pipeline on uniformly drawn fault
+//! sets; this scorecard scores it on the worst case. Three classes per
+//! machine size:
+//!
+//! * `uniform` — random distinct couplings (the Table II draw), with
+//!   the fault count matched to the even-degree distribution;
+//! * `even-degree` — cycles and disjoint-cycle unions in the coupling
+//!   graph: every qubit touches an even number of faults, so the fixed
+//!   worst-qubit canary passes at any magnitude and the paper loop
+//!   converges without opening a diagnosis round (0 % structurally);
+//! * `tied-cover` — one member each of two conflicting same-syndrome
+//!   families: every candidate cover predicts identical scores at every
+//!   rung, and the evidence-fusion consensus honestly abstains.
+//!
+//! The countermeasure column re-runs every cell with rotating canary
+//! subsets plus disputed-member interrogation
+//! (`itqc_core::MultiFaultConfig::canary_rotations`,
+//! `DecoderPolicy::Interrogate`). The acceptance bar: even-degree
+//! configurations rise from 0 % to the uniform-draw level. False
+//! accusations must be zero everywhere — blind spots may only cause
+//! misses, because every accusation is magnitude-verified.
+//!
+//! The estimators live in `itqc_bench::adversarial` on the
+//! deterministic parallel trial engine; this binary only renders them.
+
+use itqc_bench::adversarial::{adversarial_score, ADV_CANARY_ROTATIONS, ADV_FAULT_U};
+use itqc_bench::output::{f3, pct, section, Table};
+use itqc_bench::Args;
+use itqc_faults::adversarial::ConfigClass;
+
+fn main() {
+    let args = Args::parse(200);
+    section("Adversarial fault-coverage scorecard");
+    println!(
+        "planted |u|: {}  canary rotations under countermeasures: {ADV_CANARY_ROTATIONS}",
+        pct(ADV_FAULT_U)
+    );
+
+    let mut table = Table::new([
+        "qubits",
+        "class",
+        "mean k",
+        "P(identify) fixed canary",
+        "P(identify) countermeasures",
+        "false accusations",
+    ]);
+    for n in [8usize, 16] {
+        for class in ConfigClass::ALL {
+            let tag = format!("fig_adv/n={n}/{class}");
+            let base = adversarial_score(
+                n,
+                class,
+                args.trials,
+                args.threads,
+                false,
+                args.seed_for(&format!("{tag}/fixed")),
+            );
+            let fixed = adversarial_score(
+                n,
+                class,
+                args.trials,
+                args.threads,
+                true,
+                args.seed_for(&format!("{tag}/rotating")),
+            );
+            table.row([
+                n.to_string(),
+                class.to_string(),
+                f3(base.mean_faults),
+                f3(base.identification),
+                f3(fixed.identification),
+                (base.false_accusations + fixed.false_accusations).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+    println!(
+        "expected shape: even-degree and tied-cover cells are exactly 0 under the\n\
+         fixed canary (structural blind spots, not sampling accidents) and reach\n\
+         the uniform-draw level under rotating canary subsets + disputed-member\n\
+         interrogation; false accusations stay 0 in every cell."
+    );
+}

@@ -77,6 +77,8 @@ pub fn test_driven_policy(seed: u64) -> VirtualTrap {
         max_threshold_retunes: 4,
         fusion_rounds: 0, // set-cover policy: the fused ranked path is not taken
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     };
     let mut minutes = 0.0;
     while minutes < FIG2_HOURS * 60.0 {

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod ambient;
 pub mod args;
 pub mod coupling_census;
@@ -37,6 +38,7 @@ pub mod shot_exec;
 pub mod single_output;
 pub mod speedup;
 
+pub use adversarial::{adversarial_score, AdversarialScore};
 pub use ambient::ambient_executor;
 pub use args::Args;
 pub use detectability::{fig8_curve, fig8_threshold, DetectabilityCurve};

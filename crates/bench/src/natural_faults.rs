@@ -69,6 +69,8 @@ pub fn fig7_config() -> MultiFaultConfig {
         max_threshold_retunes: 4,
         fusion_rounds: 2,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     }
 }
 

@@ -40,7 +40,7 @@ use crate::classes::{first_round_classes, LabelSpace, SubcubeClass};
 use crate::decoder::{self, CoverModel, DecoderPolicy, FailingSet};
 use crate::executor::TestExecutor;
 use crate::single_fault::{Diagnosis, SingleFaultProtocol};
-use crate::testplan::{ScoreMode, TestSpec};
+use crate::testplan::{canary_rotation, rotation_seed, ScoreMode, TestSpec};
 use crate::threshold;
 use itqc_circuit::Coupling;
 use std::collections::BTreeSet;
@@ -96,6 +96,22 @@ pub struct MultiFaultConfig {
     /// verification of retuned diagnoses (the paper's ~10% recalibration
     /// line in Fig. 7C).
     pub fault_magnitude: f64,
+    /// Rotating-canary countermeasure (an extension beyond the paper):
+    /// when the fixed full-coupling canary *passes*, run up to this many
+    /// seeded random-subset canaries ([`crate::testplan::canary_rotation`]).
+    /// An even-degree fault configuration — every qubit touching an even
+    /// number of faults, i.e. a cycle union in the coupling graph — passes
+    /// the fixed worst-qubit canary at any magnitude, but a rotated subset
+    /// intersects it in an odd-degree subgraph with high probability; a
+    /// tripped rotation restricts one diagnosis round to the drawn subset,
+    /// whose restricted class battery sees the parity broken. 0 (the
+    /// paper default) disables rotation entirely: no extra tests, the
+    /// Fig. 5 loop is unchanged.
+    pub canary_rotations: usize,
+    /// Base seed of the rotation subsets (mixed with the outer round and
+    /// rotation counters via [`crate::testplan::rotation_seed`]), so the
+    /// drawn subsets are deterministic in the configuration alone.
+    pub canary_seed: u64,
 }
 
 impl MultiFaultConfig {
@@ -116,6 +132,8 @@ impl MultiFaultConfig {
             max_threshold_retunes: 4,
             fusion_rounds: 2,
             fault_magnitude: 0.10,
+            canary_rotations: 0,
+            canary_seed: 0,
         }
     }
 }
@@ -191,6 +209,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
     let mut adaptations = 0usize;
     let max_reps = *config.reps_ladder.last().unwrap();
     let mut converged = false;
+    let mut outer_round = 0u64;
 
     'outer: while diagnosed.len() <= config.max_faults {
         // Canary: every relevant coupling at maximal amplification.
@@ -200,25 +219,66 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
             converged = true;
             break;
         }
+        outer_round += 1;
         let canary =
             TestSpec::for_couplings("canary", &relevant, max_reps).with_score(config.canary_score);
         tests_run += 1;
         let f = exec.run_test(&canary, config.canary_shots);
+        // The round's working sets: a tripped rotation below restricts
+        // both to the drawn subset for this round only.
+        let mut round_relevant = relevant.clone();
+        let mut round_excluded = excluded.clone();
         if f >= config.canary_threshold {
-            converged = true;
-            break;
+            // The fixed canary is clean — but an even-degree fault
+            // configuration (a cycle union in the coupling graph) looks
+            // exactly like clean to it at any magnitude. Rotate: seeded
+            // random-subset canaries whose intersection with any fixed
+            // parity class has odd degree with high probability.
+            let mut tripped = None;
+            for rot in 0..config.canary_rotations {
+                let seed = rotation_seed(config.canary_seed, outer_round, rot as u64);
+                let Some((spec, subset)) = canary_rotation(
+                    format!("canary rotation {rot}"),
+                    &relevant,
+                    max_reps,
+                    config.canary_score,
+                    seed,
+                ) else {
+                    continue; // trivial draw: no parity information
+                };
+                tests_run += 1;
+                if exec.run_test(&spec, config.canary_shots) < config.canary_threshold {
+                    tripped = Some(subset);
+                    break;
+                }
+            }
+            match tripped {
+                None => {
+                    converged = true;
+                    break;
+                }
+                Some(subset) => {
+                    // Diagnose within the tripped subset: the restricted
+                    // class battery sees the broken parity. Diagnosed
+                    // couplings still join the *real* exclusion set, so
+                    // the next outer round re-canaries the full residue
+                    // (whose degrees are now odd).
+                    round_excluded.extend(relevant.iter().filter(|c| !subset.contains(c)));
+                    round_relevant = subset;
+                }
+            }
         }
 
         // Magnitude separation: smallest amplification that still trips
         // the full-coupling test (the biggest fault dominates there).
         adaptations += 1;
-        exec.note_adaptation(relevant.len());
+        exec.note_adaptation(round_relevant.len());
         let mut start_idx = config.reps_ladder.len() - 1;
         for (idx, &r) in config.reps_ladder.iter().enumerate() {
             if r == max_reps {
                 break; // canary already told us it fails at max_reps
             }
-            let probe = TestSpec::for_couplings(format!("magnitude x{r}MS"), &relevant, r)
+            let probe = TestSpec::for_couplings(format!("magnitude x{r}MS"), &round_relevant, r)
                 .with_score(config.canary_score);
             tests_run += 1;
             if exec.run_test(&probe, config.canary_shots) < config.canary_threshold {
@@ -233,7 +293,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
         for &reps in &config.reps_ladder[start_idx..] {
             let protocol = SingleFaultProtocol::new(n_qubits, reps, config.threshold, config.shots)
                 .with_score(config.score)
-                .exclude(excluded.iter().copied());
+                .exclude(round_excluded.iter().copied());
             let report = protocol.diagnose(exec);
             tests_run += report.tests_run();
             adaptations += report.adaptations;
@@ -263,7 +323,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                             isolated = ranked_isolate(
                                 exec,
                                 &space,
-                                &excluded,
+                                &round_excluded,
                                 config,
                                 reps,
                                 &report,
@@ -280,7 +340,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                             isolated = retune_and_isolate(
                                 exec,
                                 n_qubits,
-                                &excluded,
+                                &round_excluded,
                                 config,
                                 reps,
                                 &report,
@@ -301,7 +361,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                         let confirmed = cover_fallback(
                             exec,
                             &space,
-                            &excluded,
+                            &round_excluded,
                             config,
                             reps,
                             &mut tests_run,
@@ -337,7 +397,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
                     let isolated = ranked_isolate(
                         exec,
                         &space,
-                        &excluded,
+                        &round_excluded,
                         config,
                         reps,
                         &report,
@@ -523,9 +583,17 @@ fn ranked_isolate<E: TestExecutor>(
     let mut fusion_left = fusion_budget;
     let mut probe_idx = 0usize;
 
+    // The interrogation extension resolves tied covers by successive
+    // point tests: each refuted accusation vetoes one disputed member
+    // and the covers re-rank, so the budget must admit several vetoes
+    // before the true member is reached (a tie family of k members
+    // needs up to k−1 eliminations). Cheap: each round costs one point
+    // test.
+    let tie_break_budget =
+        if config.decoder == DecoderPolicy::Interrogate { config.max_faults.min(4) } else { 0 };
     let mut vetoed: BTreeSet<Coupling> = BTreeSet::new();
     let mut t_idx = 0usize;
-    for _round in 0..config.max_threshold_retunes + fusion_budget {
+    for _round in 0..config.max_threshold_retunes + fusion_budget + tie_break_budget {
         let t = thresholds[t_idx.min(thresholds.len() - 1)];
         let failing: FailingSet = observed
             .iter()
@@ -582,12 +650,19 @@ fn ranked_isolate<E: TestExecutor>(
                 // Every rung has been fused and the surviving covers
                 // still disagree. The paper's pipeline stops here (the
                 // Table II failure residue); the interrogation extension
-                // instead point-tests the disputed member the fused
-                // marginal weights highest — a faulty outcome is a
-                // diagnosis, a healthy one eliminates every cover
-                // containing it. Only a fully empty candidate set falls
-                // through to the gap walk.
-                decoder::marginal_accusation(&ranked)
+                // instead point-tests the *disputed* member — in some
+                // but not all near-optimal covers — that the fused
+                // marginal weights highest. A faulty outcome is a
+                // diagnosis; a healthy one vetoes the member and every
+                // cover containing it, collapsing the tie family one
+                // point test at a time (genuinely tied disjoint covers
+                // share no member, so consensus alone abstains forever).
+                // Only a fully empty candidate set falls through to the
+                // gap walk.
+                decoder::disputed_members(&ranked, tie_margin)
+                    .into_iter()
+                    .next()
+                    .or_else(|| decoder::marginal_accusation(&ranked))
             }
             None => None,
         };
@@ -727,6 +802,8 @@ mod tests {
             max_threshold_retunes: 0,
             fusion_rounds: 0,
             fault_magnitude: 0.10,
+            canary_rotations: 0,
+            canary_seed: 0,
         }
     }
 
@@ -926,6 +1003,109 @@ mod tests {
             assert!(report.converged, "{decoder}: {report:?}");
             assert_eq!(report.couplings(), vec![big, small], "{decoder}");
         }
+    }
+
+    #[test]
+    fn even_degree_triangle_is_invisible_to_the_fixed_canary() {
+        // The blind spot: every qubit of a fault triangle has degree 2,
+        // so the worst-qubit canary agreement is (1 + cos²(r·u·π/2))/2 ≥
+        // 1/2 at ANY magnitude — the loop "converges" on a faulty
+        // machine without running a single diagnosis.
+        let triangle = [Coupling::new(0, 2), Coupling::new(2, 4), Coupling::new(0, 4)];
+        let mut cfg = config();
+        cfg.canary_score = ScoreMode::WorstQubit;
+        let mut exec = ExactExecutor::new(8).with_faults(triangle.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "the fixed canary must (wrongly) report clean");
+        assert!(report.diagnosed.is_empty());
+        assert_eq!(report.tests_run, 1, "one canary only — the false negative is silent");
+    }
+
+    #[test]
+    fn rotating_canary_exposes_the_triangle() {
+        // The countermeasure: seeded random-subset canaries intersect
+        // the triangle in an odd-degree subgraph with probability 3/4
+        // per rotation; the tripped subset restricts one diagnosis round,
+        // the excluded member breaks the parity, and the ordinary loop
+        // finishes the job.
+        let triangle = [Coupling::new(0, 2), Coupling::new(2, 4), Coupling::new(0, 4)];
+        let mut expect = triangle.to_vec();
+        expect.sort();
+        let mut cfg = config();
+        cfg.canary_score = ScoreMode::WorstQubit;
+        cfg.decoder = DecoderPolicy::Ranked;
+        cfg.max_threshold_retunes = 4;
+        cfg.fusion_rounds = 2;
+        cfg.canary_rotations = 4;
+        cfg.canary_seed = 11;
+        let mut exec = ExactExecutor::new(8).with_faults(triangle.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), expect);
+    }
+
+    #[test]
+    fn rotations_add_no_tests_on_a_clean_machine_beyond_the_budget() {
+        // A clean machine pays exactly the rotation budget (every subset
+        // passes) and still converges with zero accusations.
+        let mut cfg = config();
+        cfg.canary_rotations = 3;
+        cfg.canary_seed = 5;
+        let mut exec = ExactExecutor::new(8);
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged);
+        assert!(report.diagnosed.is_empty());
+        assert!(
+            report.tests_run <= 1 + 3,
+            "canary + at most three rotations, got {}",
+            report.tests_run
+        );
+    }
+
+    #[test]
+    fn zero_rotations_is_byte_identical_to_the_legacy_loop() {
+        // canary_rotations = 0 (the paper default) must not change a
+        // single executed test: same counts, same outcome.
+        let faults = [(Coupling::new(0, 4), 0.42), (Coupling::new(2, 5), 0.16)];
+        let mut cfg = config();
+        cfg.reps_ladder = vec![2, 4, 8];
+        let mut exec = ExactExecutor::new(8).with_faults(faults.iter().copied());
+        let legacy = diagnose_all(&mut exec, 8, &cfg);
+        cfg.canary_seed = 777; // a seed without rotations is inert
+        let mut exec = ExactExecutor::new(8).with_faults(faults.iter().copied());
+        let gated = diagnose_all(&mut exec, 8, &cfg);
+        assert_eq!(legacy.tests_run, gated.tests_run);
+        assert_eq!(legacy.adaptations, gated.adaptations);
+        assert_eq!(legacy.couplings(), gated.couplings());
+    }
+
+    #[test]
+    fn tied_disjoint_covers_interrogated_to_resolution() {
+        // The second blind spot: {0,3} (syndrome exactly {(2,0)}) and
+        // {4,7} (exactly {(2,1)}) are planted; {1,2} and {5,6} share
+        // those syndromes coupling-for-coupling, so all four cross
+        // covers predict identical scores at every rung. Ranked must
+        // abstain (no common member); Interrogate must point-test the
+        // dispute to resolution without a false accusation.
+        let truth = [Coupling::new(0, 3), Coupling::new(4, 7)];
+        let mut expect = truth.to_vec();
+        expect.sort();
+        let mut cfg = config();
+        cfg.max_threshold_retunes = 4;
+        cfg.fusion_rounds = 2;
+        cfg.max_faults = 4;
+
+        cfg.decoder = DecoderPolicy::Ranked;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let ranked = diagnose_all(&mut exec, 8, &cfg);
+        assert!(ranked.diagnosed.is_empty(), "a genuine tie admits no consensus: {ranked:?}");
+        assert!(!ranked.converged, "the abstention must be reported");
+
+        cfg.decoder = DecoderPolicy::Interrogate;
+        let mut exec = ExactExecutor::new(8).with_faults(truth.iter().map(|&c| (c, 0.3)));
+        let report = diagnose_all(&mut exec, 8, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.couplings(), expect);
     }
 
     #[test]

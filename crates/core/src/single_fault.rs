@@ -74,6 +74,7 @@ pub struct SingleFaultProtocol {
     shots: usize,
     score: ScoreMode,
     excluded: BTreeSet<Coupling>,
+    verify_contrast: bool,
 }
 
 impl SingleFaultProtocol {
@@ -96,6 +97,7 @@ impl SingleFaultProtocol {
             shots,
             score: ScoreMode::ExactTarget,
             excluded: BTreeSet::new(),
+            verify_contrast: false,
         }
     }
 
@@ -110,6 +112,26 @@ impl SingleFaultProtocol {
     /// couplings — Corollary V.12).
     pub fn exclude<I: IntoIterator<Item = Coupling>>(mut self, couplings: I) -> Self {
         self.excluded.extend(couplings);
+        self
+    }
+
+    /// Recalibrates the final verification test's pass/fail cut to the
+    /// fault-vs-healthy contrast midpoint (builder style).
+    ///
+    /// The class tests share one calibrated threshold, but the
+    /// verification is a *point* test: near the detection knee the
+    /// fault's point score sits only ~1–2σ below a threshold calibrated
+    /// for class-sized circuits, so verification sometimes clears a
+    /// correctly decoded fault — the effect that left the 32-qubit
+    /// Fig. 8 knees one 5%-grid step high. With contrast verification
+    /// the magnitude û is inverted from the deepest failing score seen
+    /// so far and the cut moves to
+    /// [`crate::threshold::contrast_threshold`]`(û, reps)`, clamped to
+    /// never fall below the shared threshold (so it can only get
+    /// stricter about *passing*, never laxer about failing a healthy
+    /// coupling).
+    pub fn with_contrast_verification(mut self) -> Self {
+        self.verify_contrast = true;
         self
     }
 
@@ -129,15 +151,43 @@ impl SingleFaultProtocol {
         spec: &TestSpec,
         tests: &mut Vec<TestRecord>,
     ) -> bool {
+        self.run_spec_at(exec, spec, self.threshold, tests)
+    }
+
+    fn run_spec_at<E: TestExecutor>(
+        &self,
+        exec: &mut E,
+        spec: &TestSpec,
+        threshold: f64,
+        tests: &mut Vec<TestRecord>,
+    ) -> bool {
         if spec.couplings.is_empty() {
             // Nothing to run: trivially passing.
             tests.push(TestRecord { label: spec.label.clone(), fidelity: 1.0, failed: false });
             return false;
         }
         let fidelity = exec.run_test(spec, self.shots);
-        let failed = fidelity < self.threshold;
+        let failed = fidelity < threshold;
         tests.push(TestRecord { label: spec.label.clone(), fidelity, failed });
         failed
+    }
+
+    /// The verification cut under [`Self::with_contrast_verification`]:
+    /// invert the magnitude û from the deepest failing score of the run
+    /// so far (a point or class score at `reps` repetitions deviates by
+    /// `cos(reps·û·π/2)` for the dominant fault) and place the cut at
+    /// the fault-vs-healthy midpoint for a point test of that magnitude.
+    /// With no failing score to fit (the complementary-pair decode path
+    /// can reach verification all-passed), the shared threshold stands.
+    fn contrast_verify_threshold(&self, tests: &[TestRecord]) -> f64 {
+        let s_min =
+            tests.iter().filter(|t| t.failed).map(|t| t.fidelity).fold(f64::INFINITY, f64::min);
+        if !s_min.is_finite() {
+            return self.threshold;
+        }
+        let dev = (2.0 * s_min.clamp(0.0, 1.0) - 1.0).clamp(-1.0, 1.0).acos();
+        let u_hat = dev / (self.reps as f64 * std::f64::consts::FRAC_PI_2);
+        crate::threshold::contrast_threshold(u_hat, self.reps).max(self.threshold)
     }
 
     /// Runs only the non-adaptive first round and returns the syndrome,
@@ -224,7 +274,12 @@ impl SingleFaultProtocol {
                     self.reps,
                 )
                 .with_score(self.score);
-                let failed = self.run_spec(exec, &spec, &mut tests);
+                let verify_cut = if self.verify_contrast {
+                    self.contrast_verify_threshold(&tests)
+                } else {
+                    self.threshold
+                };
+                let failed = self.run_spec_at(exec, &spec, verify_cut, &mut tests);
                 let diagnosis = if failed {
                     Diagnosis::Fault(coupling)
                 } else if syndrome.is_empty() && equal_flags.iter().all(|f| !f) {
@@ -371,6 +426,39 @@ mod tests {
         assert_eq!(report.syndrome.len(), 2);
         // 2n = 6 round-1 tests, no round 2 (L = n−1), one verification.
         assert_eq!(report.tests_run(), 7);
+    }
+
+    #[test]
+    fn contrast_verification_cut_tracks_the_fitted_magnitude() {
+        let p = protocol(8, 2).with_contrast_verification();
+        // No failing record to fit: the shared threshold stands.
+        let clean = vec![TestRecord { label: "t".into(), fidelity: 0.9, failed: false }];
+        assert_eq!(p.contrast_verify_threshold(&clean), 0.5);
+        // A failing score s inverts to û and the cut moves to the point
+        // fault-vs-healthy midpoint (1 + s)/2 — above the shared cut, so
+        // near-knee verification keeps noise headroom on the fail side.
+        let s = 0.727;
+        let failing = vec![TestRecord { label: "t".into(), fidelity: s, failed: true }];
+        let cut = p.contrast_verify_threshold(&failing);
+        assert!((cut - (1.0 + s) / 2.0).abs() < 1e-9, "cut {cut}");
+        assert!(cut > 0.5);
+    }
+
+    #[test]
+    fn contrast_verification_is_inert_on_the_oracle_path() {
+        // On an exact executor a point test reproduces the class score
+        // exactly, so the recalibrated cut changes no diagnosis — the
+        // fix only buys noise margin. Spot-check fault, clean, and the
+        // complementary-pair decode.
+        for fault in [None, Some((Coupling::new(2, 6), 0.40)), Some((Coupling::new(3, 4), 0.30))] {
+            let build = || match fault {
+                Some((c, u)) => ExactExecutor::new(8).with_fault(c, u),
+                None => ExactExecutor::new(8),
+            };
+            let plain = protocol(8, 4).diagnose(&mut build());
+            let contrast = protocol(8, 4).with_contrast_verification().diagnose(&mut build());
+            assert_eq!(plain.diagnosis, contrast.diagnosis, "fault {fault:?}");
+        }
     }
 
     #[test]

@@ -170,6 +170,65 @@ pub fn expected_output(couplings: &[Coupling], reps: usize) -> usize {
     target
 }
 
+/// One SplitMix64 step — the same generator `par_trials` uses for seed
+/// splitting, reused here so rotation subsets are deterministic in the
+/// configuration seed alone (never in executor or thread state).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic seed for canary rotation `rotation` of outer diagnosis
+/// round `round`: a SplitMix64 mix of the configured base seed and both
+/// counters, so every (round, rotation) pair draws an independent subset
+/// and re-running any round reproduces its rotations exactly.
+pub fn rotation_seed(base: u64, round: u64, rotation: u64) -> u64 {
+    let mut s = base ^ round.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mixed = splitmix64(&mut s);
+    let mut s2 = mixed ^ rotation.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    splitmix64(&mut s2)
+}
+
+/// A rotating-canary spec: a seeded pseudo-random subset of the machine's
+/// couplings, each included with probability 1/2, tested like the fixed
+/// canary. A fault configuration in which every qubit has *even* faulty
+/// degree (a cycle union in the coupling graph) passes the fixed canary at
+/// any magnitude, but a random subset intersects it in an odd-degree
+/// subgraph with high probability (for a triangle, 6 of the 8 subsets),
+/// so no fixed parity class survives every rotation.
+///
+/// Returns the spec together with the drawn subset, or `None` when the
+/// draw is trivial (empty, or the full set — which carries no parity
+/// information beyond the fixed canary).
+pub fn canary_rotation(
+    label: impl Into<String>,
+    couplings: &[Coupling],
+    reps: usize,
+    score: ScoreMode,
+    seed: u64,
+) -> Option<(TestSpec, Vec<Coupling>)> {
+    let mut state = seed;
+    let mut word = 0u64;
+    let mut subset = Vec::new();
+    for (i, &c) in couplings.iter().enumerate() {
+        let bit = i % 64;
+        if bit == 0 {
+            word = splitmix64(&mut state);
+        }
+        if (word >> bit) & 1 == 1 {
+            subset.push(c);
+        }
+    }
+    if subset.is_empty() || subset.len() == couplings.len() {
+        return None;
+    }
+    let spec = TestSpec::for_couplings(label, &subset, reps).with_score(score);
+    Some((spec, subset))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +303,55 @@ mod tests {
         assert_eq!(target, (1 << 2) | (1 << 5));
         let p = run(&circuit).probability(target);
         assert!((p - 1.0).abs() < 1e-10, "ideal circuit must hit its target, p={p}");
+    }
+
+    #[test]
+    fn rotation_seeds_are_distinct_and_reproducible() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..4u64 {
+            for rot in 0..4u64 {
+                let s = rotation_seed(99, round, rot);
+                assert_eq!(s, rotation_seed(99, round, rot));
+                assert!(seen.insert(s), "round {round} rotation {rot} repeats a seed");
+            }
+        }
+    }
+
+    #[test]
+    fn canary_rotation_is_a_proper_seeded_subset() {
+        let couplings: Vec<Coupling> =
+            (0..8).flat_map(|a| ((a + 1)..8).map(move |b| Coupling::new(a, b))).collect();
+        let (spec, subset) =
+            canary_rotation("rot", &couplings, 4, ScoreMode::WorstQubit, 7).expect("non-trivial");
+        assert_eq!(spec.couplings, subset);
+        assert_eq!(spec.score, ScoreMode::WorstQubit);
+        assert!(!subset.is_empty() && subset.len() < couplings.len());
+        // Same seed, same subset; different seed, (almost surely) different.
+        let again = canary_rotation("rot", &couplings, 4, ScoreMode::WorstQubit, 7).unwrap().1;
+        assert_eq!(subset, again);
+        let other = canary_rotation("rot", &couplings, 4, ScoreMode::WorstQubit, 8).unwrap().1;
+        assert_ne!(subset, other);
+    }
+
+    #[test]
+    fn some_rotation_breaks_every_even_degree_triangle() {
+        // The blind spot: a triangle passes the fixed canary at any
+        // magnitude. Across a handful of rotations, some drawn subset
+        // must intersect it in an odd-degree subgraph.
+        let couplings: Vec<Coupling> =
+            (0..8).flat_map(|a| ((a + 1)..8).map(move |b| Coupling::new(a, b))).collect();
+        let triangle = [Coupling::new(0, 2), Coupling::new(2, 4), Coupling::new(0, 4)];
+        let odd_intersection = |subset: &[Coupling]| {
+            let hit: Vec<Coupling> =
+                triangle.iter().copied().filter(|c| subset.contains(c)).collect();
+            let spec_target = expected_output(&hit, 2);
+            spec_target != 0 // some qubit has odd degree in the intersection
+        };
+        let broken = (0..4u64).any(|rot| {
+            canary_rotation("rot", &couplings, 4, ScoreMode::WorstQubit, rotation_seed(5, 0, rot))
+                .is_some_and(|(_, subset)| odd_intersection(&subset))
+        });
+        assert!(broken, "four rotations must expose the triangle");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod drift;
 pub mod estimator;
 pub mod models;
@@ -23,6 +24,7 @@ pub mod residual;
 pub mod spam;
 pub mod taxonomy;
 
+pub use adversarial::{AdversarialScenario, ConfigClass};
 pub use itqc_math::rng::CompositeUnderRotation;
 pub use models::CouplingFault;
 pub use noise_model::IonTrapNoise;

@@ -64,6 +64,8 @@ fn main() {
         max_threshold_retunes: 4,
         fusion_rounds: 2,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     };
     let report = diagnose_all(&mut trap, n, &config);
     println!("sequential diagnosis (Fig. 5 pipeline):");

@@ -48,6 +48,8 @@ fn config() -> MultiFaultConfig {
         max_threshold_retunes: 4,
         fusion_rounds: 0,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     }
 }
 

@@ -125,6 +125,58 @@ fn routed_executors_and_string_sampler_agree_across_backends() {
 }
 
 #[test]
+fn adversarial_scenarios_agree_across_backends() {
+    // The adversarial harness's configurations stack several faulty
+    // couplings on shared qubits, so their scores hinge on multi-fault
+    // interference — the even-degree parity cancellation (Π cos over a
+    // qubit's faults) that no single-fault case exercises. Both
+    // backends must agree on the exact scores to 1e-9 and bit-for-bit
+    // through the shot sampler, on the full-machine canary spec (where
+    // the cancellation happens) and on each planted point test.
+    use itqc_faults::adversarial::{sample_scenario, ConfigClass};
+    let mut rng = SmallRng::seed_from_u64(0xAD5E);
+    for case in 0..6 {
+        let class = if case % 2 == 0 { ConfigClass::EvenDegree } else { ConfigClass::TiedCover };
+        let n = 8;
+        let scenario = sample_scenario(class, n, &mut rng);
+        let all: Vec<Coupling> =
+            (0..n).flat_map(|a| (a + 1..n).map(move |b| Coupling::new(a, b))).collect();
+        let mut specs =
+            vec![TestSpec::for_couplings("canary", &all, 2).with_score(ScoreMode::WorstQubit)];
+        for (i, &c) in scenario.faults.iter().enumerate() {
+            specs.push(
+                TestSpec::for_couplings(format!("point{i}"), &[c], 4)
+                    .with_score(ScoreMode::ExactTarget),
+            );
+        }
+        let shot_seed = rng.gen::<u64>();
+        for spec in &specs {
+            let score_with = |choice: BackendChoice| {
+                let exec = ExactExecutor::new(n)
+                    .with_faults(scenario.faults.iter().map(|&c| (c, 0.30)))
+                    .with_backend(choice);
+                let exact = exec.exact_score(spec);
+                let mut sampler = StringSampled::new(exec, shot_seed);
+                (exact, sampler.run_test(spec, 300))
+            };
+            let (exact_d, shot_d) = score_with(BackendChoice::Dense);
+            let (exact_a, shot_a) = score_with(BackendChoice::Analytic);
+            assert!(
+                (exact_d - exact_a).abs() < 1e-9,
+                "case {case} ({class}) spec {}: exact scores diverged",
+                spec.label
+            );
+            assert_eq!(
+                shot_d.to_bits(),
+                shot_a.to_bits(),
+                "case {case} ({class}) spec {}: sampled scores diverged",
+                spec.label
+            );
+        }
+    }
+}
+
+#[test]
 fn auto_choice_matches_forced_analytic_on_xx_circuits() {
     for case in 0..8 {
         let mut rng = SmallRng::seed_from_u64(0xA070 + case);

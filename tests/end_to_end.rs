@@ -21,6 +21,8 @@ fn multi_config(ladder: Vec<usize>, threshold: f64, canary_threshold: f64) -> Mu
         max_threshold_retunes: 4,
         fusion_rounds: 0,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     }
 }
 

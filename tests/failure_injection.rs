@@ -30,6 +30,8 @@ fn catastrophic_drift_fails_gracefully() {
         max_threshold_retunes: 2,
         fusion_rounds: 0,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     };
     let report = diagnose_all(&mut trap, 8, &config);
     assert!(!report.converged, "a machine this broken cannot be certified clean");
@@ -119,6 +121,8 @@ fn excluding_every_coupling_is_a_clean_no_op() {
         max_threshold_retunes: 0,
         fusion_rounds: 0,
         fault_magnitude: 0.10,
+        canary_rotations: 0,
+        canary_seed: 0,
     };
     let report = itqc::core::multi_fault::diagnose_all_excluding(&mut trap, 4, &config, &all);
     assert!(report.converged, "nothing left to test");

@@ -28,8 +28,9 @@ use itqc_bench::protocol_stats::{identification_rate_with, table2_config};
 use itqc_bench::rb_stats::rb_summary;
 use itqc_bench::single_output::{fig6_battery, fig6_expected_failing, fig6_jitter};
 use itqc_bench::speedup::fig10_rows;
-use itqc_bench::{table2_identification_rate, Args};
+use itqc_bench::{adversarial_score, table2_identification_rate, Args};
 use itqc_core::DecoderPolicy;
+use itqc_faults::adversarial::ConfigClass;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -193,20 +194,30 @@ fn fig8_8q_and_16q_knees_match_paper_exactly() {
 }
 
 #[test]
-fn fig8_32q_knee_within_one_step_of_paper() {
-    // Paper: 30 % at 4-MS on 32 qubits. EXPERIMENTS.md measures 35 %:
-    // at the paper's own point the measured P(identify) is 0.942 — the
-    // shortfall is the verification point test (the highest-scoring
-    // faulty test) sitting ~1.7σ from the class-calibrated threshold.
-    // The pinned claim is therefore "within one 5 %-grid step": the
-    // knee must exist and land in 25–40 %. Reduced to 30 trials to keep
-    // the 32-qubit cell inside the CI budget (the knee is a plateau
-    // crossing, far less trial-sensitive than the plateau height).
-    let min_u = fig8_min_u95(32, 4, 30).expect("32q 4MS knee must exist below 50%");
-    assert!(
-        (0.25..=0.40).contains(&min_u),
-        "32q 4MS knee {min_u:.2} outside the paper's 30% ± one grid step"
-    );
+fn fig8_32q_knees_match_paper_within_one_step() {
+    // Paper: 35 % at 2-MS and 30 % at 4-MS on 32 qubits. Both knees
+    // used to sit one 5 %-grid step high (40/35 %) because the
+    // verification point test — the highest-scoring faulty test, with
+    // no ambient co-factors — sat ~1.7σ from the class-calibrated
+    // threshold. With per-run contrast verification
+    // (`SingleFaultProtocol::with_contrast_verification`, which
+    // re-places the verification cut at the fault-vs-healthy midpoint
+    // of the fitted magnitude) EXPERIMENTS.md measures the 2-MS knee
+    // exactly at the paper's 35 %, and the 4-MS knee at 35 % with
+    // P(identify) = 0.942 at the paper's own 30 % point — one miss in
+    // 120 short of the 95 % bar. The pinned windows are therefore the
+    // measured knee ± one grid step: 2-MS in 30–40 %, 4-MS in 25–40 %
+    // (the paper value itself stays inside both). Reduced to 30 trials
+    // to keep the 32-qubit cells inside the CI budget (the knee is a
+    // plateau crossing, far less trial-sensitive than the plateau
+    // height).
+    for (reps, lo, hi) in [(2, 0.30, 0.40), (4, 0.25, 0.40)] {
+        let min_u = fig8_min_u95(32, reps, 30).expect("32q knee must exist below 50%");
+        assert!(
+            (lo..=hi).contains(&min_u),
+            "32q {reps}MS knee {min_u:.2} outside {lo:.2}..={hi:.2}"
+        );
+    }
 }
 
 #[test]
@@ -543,6 +554,19 @@ fn par_trials_aggregate_is_byte_identical_across_threads() {
             }
             for row in rb_summary(seed_for("rb"), 4, 100, threads) {
                 push("rb", row.result.decay_p);
+            }
+            for class in ConfigClass::ALL {
+                let adv = adversarial_score(
+                    8,
+                    class,
+                    8,
+                    threads,
+                    true,
+                    seed_for(&format!("fig_adv/n=8/{class}/rotating")),
+                );
+                push("adv.p", adv.identification);
+                push("adv.k", adv.mean_faults);
+                push("adv.f", adv.false_accusations as f64);
             }
             s
         })
