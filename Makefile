@@ -6,7 +6,7 @@ CARGO ?= cargo
 # The 13 evaluation binaries, in paper order (extensions last).
 REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations fig_adv
 
-.PHONY: build test bench repro fmt lint clean
+.PHONY: build test bench fleet-bench repro fmt lint clean
 
 ## build: release build of every workspace member
 build:
@@ -20,6 +20,17 @@ test:
 ## bench: run the criterion benches (vendored shim prints to stdout)
 bench:
 	$(CARGO) bench -p itqc-bench
+
+## fleet-bench: the BENCH_BASELINE.json fleetd workload — 256 traps for
+## one simulated hour, summary diffed across worker counts (the stdout
+## must be bit-identical; only the stderr wall-clock lines may differ)
+fleet-bench:
+	$(CARGO) build --release -p itqc-fleet --bin fleetd -p itqc-bench --bin loadgen
+	./target/release/loadgen --traps=256 --minutes=60 --workers=1 > loadgen.w1.out
+	./target/release/loadgen --traps=256 --minutes=60 --workers=auto > loadgen.wauto.out
+	diff loadgen.w1.out loadgen.wauto.out
+	@cat loadgen.w1.out
+	@rm -f loadgen.w1.out loadgen.wauto.out
 
 ## repro: regenerate every paper table/figure (see EXPERIMENTS.md)
 repro: build

@@ -29,9 +29,10 @@ use itqc_circuit::Circuit;
 use itqc_math::gray;
 use itqc_sim::XxCircuit;
 use rand::rngs::SmallRng;
-use std::cell::{OnceCell, RefCell};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// Largest connected component the analytic backend will prepare: the
 /// sampling table is `2^c` entries, so 20 caps it at ~8 MiB of f64 CDF.
@@ -84,6 +85,10 @@ impl SimBackend for XxAnalyticBackend {
 
 /// A prepared commuting-XX circuit: component split done, distributions
 /// materialized lazily on the first sampling request.
+///
+/// `Send + Sync` (distributions materialize through a [`OnceLock`]), so
+/// preparations can be shared across threads behind an `Arc` — the
+/// property the fleet's cross-trap prepared-circuit cache builds on.
 #[derive(Debug)]
 pub struct XxPrepared {
     xx: XxCircuit,
@@ -92,10 +97,19 @@ pub struct XxPrepared {
     /// in global numbering), ascending by first qubit, with each
     /// component's qubit bit-mask alongside.
     comp_circuits: Vec<(XxCircuit, usize)>,
-    dists: OnceCell<Vec<ComponentDist>>,
+    dists: OnceLock<Vec<ComponentDist>>,
 }
 
 impl XxPrepared {
+    /// Prepares an accumulated commuting-XX circuit outside any backend
+    /// — the entry point for external cache layers that manage sharing
+    /// themselves (e.g. the fleet's concurrent cross-trap cache, which
+    /// stores preparations behind `Arc` instead of this crate's
+    /// per-backend `Rc`).
+    pub fn prepare(xx: XxCircuit) -> Result<Self, BackendError> {
+        Self::build(xx)
+    }
+
     pub(crate) fn build(xx: XxCircuit) -> Result<Self, BackendError> {
         let support = xx.support();
         let pos: BTreeMap<usize, usize> =
@@ -121,7 +135,7 @@ impl XxPrepared {
                 (sub, mask)
             })
             .collect();
-        Ok(XxPrepared { xx, support, comp_circuits, dists: OnceCell::new() })
+        Ok(XxPrepared { xx, support, comp_circuits, dists: OnceLock::new() })
     }
 
     /// The underlying accumulated circuit.
@@ -134,6 +148,24 @@ impl XxPrepared {
         self.dists.get_or_init(|| {
             self.comp_circuits.iter().map(|(sub, _)| component_distribution(sub)).collect()
         })
+    }
+
+    /// Connected-component sizes in qubits, in preparation order.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        self.comp_circuits.iter().map(|(_, mask)| mask.count_ones() as usize).collect()
+    }
+
+    /// Resident-size estimate of the fully materialized preparation:
+    /// the `2^c` f64 CDF table per component (the Walsh–Hadamard
+    /// output distributions — the expensive, shareable part) plus the
+    /// accumulated gate list. Used by byte-budgeted cache layers.
+    pub fn table_bytes(&self) -> usize {
+        let tables: usize = self
+            .comp_circuits
+            .iter()
+            .map(|(_, mask)| (1usize << mask.count_ones()) * std::mem::size_of::<f64>())
+            .sum();
+        tables + self.xx.terms().count() * 3 * std::mem::size_of::<u64>()
     }
 }
 
@@ -298,6 +330,19 @@ mod tests {
         assert!(Rc::ptr_eq(&a, &b), "identical circuits must share one preparation");
         let (hits, misses) = backend.cache_stats();
         assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn prepared_circuits_are_send_sync_with_size_accounting() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XxPrepared>();
+        // Two disjoint pairs → components of 2 qubits each; table bytes
+        // dominated by two 2^2 CDFs plus the 2-term gate list.
+        let mut xx = XxCircuit::new(6);
+        xx.add_xx(0, 2, 0.3).add_xx(3, 5, 0.4);
+        let prep = XxPrepared::prepare(xx).unwrap();
+        assert_eq!(prep.component_sizes(), vec![2, 2]);
+        assert_eq!(prep.table_bytes(), 2 * 4 * 8 + 2 * 3 * 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::analytic::XxPrepared;
 use itqc_sim::XxCircuit;
 use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
 use std::rc::Rc;
 
 /// Number of prepared circuits held before the cache is flushed. A
@@ -34,13 +35,61 @@ pub fn xx_key(xx: &XxCircuit) -> Vec<u64> {
     key
 }
 
+/// Hit/miss/eviction totals of a prepared-circuit cache — the common
+/// observability currency of every cache layer in the workspace (this
+/// per-backend cache, and the fleet's shared cross-trap cache which
+/// layers over it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a preparation.
+    pub misses: u64,
+    /// Entries dropped to enforce a capacity or size budget.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl Add for CacheCounters {
+    type Output = CacheCounters;
+
+    fn add(self, rhs: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl AddAssign for CacheCounters {
+    fn add_assign(&mut self, rhs: CacheCounters) {
+        *self = *self + rhs;
+    }
+}
+
 /// A bounded map from [`xx_key`] to shared preparations, with hit/miss
 /// counters for observability.
 #[derive(Debug, Default)]
 pub struct PrepCache {
     map: HashMap<Vec<u64>, Rc<XxPrepared>>,
-    hits: u64,
-    misses: u64,
+    counters: CacheCounters,
 }
 
 impl PrepCache {
@@ -48,11 +97,11 @@ impl PrepCache {
     pub fn get(&mut self, key: &[u64]) -> Option<Rc<XxPrepared>> {
         match self.map.get(key) {
             Some(hit) => {
-                self.hits += 1;
+                self.counters.hits += 1;
                 Some(Rc::clone(hit))
             }
             None => {
-                self.misses += 1;
+                self.counters.misses += 1;
                 None
             }
         }
@@ -60,9 +109,11 @@ impl PrepCache {
 
     /// Stores a preparation, flushing the whole cache first when full
     /// (epoch eviction: simpler than LRU and the working set of one
-    /// diagnosis fits comfortably under the capacity).
+    /// diagnosis fits comfortably under the capacity; the fleet's shared
+    /// cross-trap layer does true LRU with a byte budget instead).
     pub fn insert(&mut self, key: Vec<u64>, prepared: Rc<XxPrepared>) {
         if self.map.len() >= CACHE_CAPACITY {
+            self.counters.evictions += self.map.len() as u64;
             self.map.clear();
         }
         self.map.insert(key, prepared);
@@ -70,7 +121,12 @@ impl PrepCache {
 
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.counters.hits, self.counters.misses)
+    }
+
+    /// Full hit/miss/eviction counters since construction.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
     }
 
     /// Number of cached preparations.
@@ -111,5 +167,18 @@ mod tests {
             assert!(cache.len() <= CACHE_CAPACITY);
         }
         assert!(!cache.is_empty());
+        // The flush was recorded as CACHE_CAPACITY evictions.
+        assert_eq!(cache.counters().evictions, CACHE_CAPACITY as u64);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let a = CacheCounters { hits: 3, misses: 1, evictions: 0 };
+        let b = CacheCounters { hits: 1, misses: 1, evictions: 2 };
+        let sum = a + b;
+        assert_eq!(sum, CacheCounters { hits: 4, misses: 2, evictions: 2 });
+        assert!((sum.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(sum.lookups(), 6);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
     }
 }

@@ -33,7 +33,8 @@ pub mod cache;
 pub mod dense;
 pub mod dist;
 
-pub use analytic::{XxAnalyticBackend, MAX_COMPONENT};
+pub use analytic::{XxAnalyticBackend, XxPrepared, MAX_COMPONENT};
+pub use cache::CacheCounters;
 pub use dense::DenseBackend;
 
 use itqc_circuit::Circuit;

@@ -4,15 +4,19 @@ use itqc_backend::BackendChoice;
 use itqc_core::DecoderPolicy;
 
 /// Common harness options:
-/// `--trials=N  --seed=S  --threads=N  --decoder=P  --backend=B  --csv  --fast`.
+/// `--trials=N  --seed=S  --threads=N|auto  --decoder=P  --backend=B  --csv  --fast`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
     pub trials: usize,
     /// Master RNG seed.
     pub seed: u64,
-    /// Worker threads for the parallel trial engine; `0` = all
-    /// available cores. Results are identical at any thread count.
+    /// Worker threads for the parallel trial engine; `0` (or
+    /// `--threads=auto`) = all available cores via
+    /// `std::thread::available_parallelism`. Results are identical at
+    /// any thread count, so this only changes wall-clock — note that on
+    /// a 1-vCPU container `auto` resolves to a single worker and the
+    /// parallel engine degrades gracefully to the sequential path.
     pub threads: usize,
     /// Multi-fault decoder policy override (`greedy|ranked|set-cover`);
     /// `None` keeps each binary's paper default (ranked).
@@ -33,6 +37,11 @@ impl Args {
     /// Unknown arguments are ignored (forward compatibility); malformed
     /// values fall back to the defaults.
     pub fn parse(default_trials: usize) -> Self {
+        Self::parse_from(default_trials, std::env::args().skip(1))
+    }
+
+    /// [`Self::parse`] over an explicit argument list (testable core).
+    pub fn parse_from(default_trials: usize, args: impl Iterator<Item = String>) -> Self {
         let mut out = Args {
             trials: default_trials,
             seed: 20220402,
@@ -42,7 +51,7 @@ impl Args {
             csv: false,
             fast: false,
         };
-        for arg in std::env::args().skip(1) {
+        for arg in args {
             if let Some(v) = arg.strip_prefix("--trials=") {
                 if let Ok(n) = v.parse() {
                     out.trials = n;
@@ -52,7 +61,9 @@ impl Args {
                     out.seed = s;
                 }
             } else if let Some(v) = arg.strip_prefix("--threads=") {
-                if let Ok(t) = v.parse() {
+                if v == "auto" {
+                    out.threads = 0;
+                } else if let Ok(t) = v.parse() {
                     out.threads = t;
                 }
             } else if let Some(v) = arg.strip_prefix("--decoder=") {
@@ -139,6 +150,18 @@ mod tests {
         assert!(a.threads() >= 1);
         let b = Args { threads: 8, ..a };
         assert_eq!(b.threads(), 8);
+    }
+
+    #[test]
+    fn threads_auto_parses_like_zero() {
+        let argv = |s: &str| [s.to_string()].into_iter();
+        let auto = Args::parse_from(10, argv("--threads=auto"));
+        assert_eq!(auto.threads, 0, "`auto` defers to available_parallelism");
+        assert!(auto.threads() >= 1);
+        let fixed = Args::parse_from(10, argv("--threads=3"));
+        assert_eq!(fixed.threads, 3);
+        let junk = Args::parse_from(10, argv("--threads=lots"));
+        assert_eq!(junk.threads, 0, "malformed values keep the default");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! `loadgen` — the fleet load driver.
+//!
+//! Drives a [`Fleet`] through a sustained simulated workload and reports
+//! throughput against the ISSUE target of ≥1 M jobs per simulated
+//! machine-day. The deterministic end-of-run summary goes to **stdout**
+//! (bit-identical at any `--workers`, so CI can diff runs), while
+//! wall-clock timings — the only thing the worker count changes — go to
+//! **stderr**.
+//!
+//! ```text
+//! $ loadgen --traps=256 --minutes=60 --workers=auto
+//! ```
+//!
+//! Flags (all optional): `--traps=N --workers=N|auto --minutes=N`
+//! `--seed=N --qubits=N --rate=F --service-mean=F --cache-budget-mb=N`.
+//! Defaults: 256 traps for one simulated hour at the fleet's default
+//! operating point (4 jobs/trap/min, 8 s mean service ≈ 1.4 M
+//! jobs/simulated-day).
+
+use itqc_fleet::{Fleet, FleetConfig, MINUTES_PER_DAY};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--traps=N] [--workers=N|auto] [--minutes=N] [--seed=N] \
+         [--qubits=N] [--rate=F] [--service-mean=F] [--cache-budget-mb=N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags() -> (FleetConfig, u64) {
+    let mut config = FleetConfig { traps: 256, ..FleetConfig::default() };
+    let mut minutes = 60u64;
+    for arg in std::env::args().skip(1) {
+        let Some((flag, value)) = arg.split_once('=') else { usage() };
+        let ok = match flag {
+            "--traps" => value.parse().map(|v| config.traps = v).is_ok(),
+            "--workers" if value == "auto" => {
+                config.workers = 0;
+                true
+            }
+            "--workers" => value.parse().map(|v| config.workers = v).is_ok(),
+            "--minutes" => value.parse().map(|v| minutes = v).is_ok(),
+            "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
+            "--qubits" => value.parse().map(|v| config.n_qubits = v).is_ok(),
+            "--rate" => value.parse().map(|v| config.arrival_rate_per_min = v).is_ok(),
+            "--service-mean" => value.parse().map(|v| config.service_secs_mean = v).is_ok(),
+            "--cache-budget-mb" => {
+                value.parse().map(|v: usize| config.cache_budget_bytes = v << 20).is_ok()
+            }
+            _ => usage(),
+        };
+        if !ok {
+            usage();
+        }
+    }
+    (config, minutes)
+}
+
+fn main() {
+    let (config, minutes) = parse_flags();
+    let workers = config.workers;
+    let mut fleet = Fleet::new(config);
+    let start = Instant::now();
+    fleet.run_minutes(minutes);
+    let sim_wall = start.elapsed();
+    let summary = fleet.summary();
+    // Deterministic artifact: stdout only ever depends on
+    // (config minus workers, minutes).
+    print!("{summary}");
+    // Wall-clock telemetry: stderr, so stdout stays diffable.
+    let days = minutes as f64 / MINUTES_PER_DAY as f64;
+    eprintln!(
+        "loadgen: {} traps x {} simulated minutes ({:.3} machine-days) with workers={} \
+         in {:.2} s wall",
+        summary.traps,
+        minutes,
+        days,
+        if workers == 0 { "auto".to_string() } else { workers.to_string() },
+        sim_wall.as_secs_f64()
+    );
+    eprintln!(
+        "loadgen: {:.0} jobs/simulated-machine-day (target 1000000), \
+         {:.0} simulated-minutes/wall-second",
+        summary.jobs_per_machine_day(),
+        minutes as f64 / sim_wall.as_secs_f64().max(1e-9)
+    );
+    if summary.jobs_per_machine_day() < 1_000_000.0 && minutes > 0 {
+        eprintln!("loadgen: WARNING below the 1M jobs/machine-day target");
+    }
+}

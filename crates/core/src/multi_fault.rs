@@ -40,7 +40,7 @@ use crate::classes::{first_round_classes, LabelSpace, SubcubeClass};
 use crate::decoder::{self, CoverModel, DecoderPolicy, FailingSet};
 use crate::executor::TestExecutor;
 use crate::single_fault::{Diagnosis, SingleFaultProtocol};
-use crate::testplan::{canary_rotation, rotation_seed, ScoreMode, TestSpec};
+use crate::testplan::{canary_for, canary_rotation, rotation_seed, ScoreMode, TestSpec};
 use crate::threshold;
 use itqc_circuit::Coupling;
 use std::collections::BTreeSet;
@@ -220,8 +220,7 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
             break;
         }
         outer_round += 1;
-        let canary =
-            TestSpec::for_couplings("canary", &relevant, max_reps).with_score(config.canary_score);
+        let canary = canary_for(&relevant, max_reps, config.canary_score);
         tests_run += 1;
         let f = exec.run_test(&canary, config.canary_shots);
         // The round's working sets: a tripped rotation below restricts

@@ -11,6 +11,7 @@
 //! angle before measurement.
 
 use itqc_circuit::{Circuit, Coupling};
+use itqc_sim::XxCircuit;
 use std::collections::BTreeMap;
 use std::f64::consts::FRAC_PI_2;
 use std::fmt;
@@ -99,6 +100,32 @@ impl TestSpec {
         }
         c
     }
+
+    /// Accumulates the spec into the commuting-XX circuit a machine with
+    /// the given per-coupling under-rotations would actually execute:
+    /// every programmed `θ` becomes `θ·(1−u)`. This is the batching
+    /// entry point for executors that dispatch test plans through the
+    /// `itqc_backend` seam — the returned circuit is exactly the cache
+    /// key unit (register size + couplings + noisy angle bits), so two
+    /// traps with identical coupling graphs and calibration profiles
+    /// map the same spec to the same prepared circuit.
+    pub fn noisy_xx(&self, n_qubits: usize, under_rotation: impl Fn(Coupling) -> f64) -> XxCircuit {
+        let mut xx = XxCircuit::new(n_qubits);
+        for &(coupling, theta) in &self.gates {
+            let (a, b) = coupling.endpoints();
+            xx.add_xx(a, b, theta * (1.0 - under_rotation(coupling)));
+        }
+        xx
+    }
+}
+
+/// The full-coupling canary test over a coupling set: every relevant
+/// coupling at `reps` amplification, scored with `score`. One shared
+/// constructor so the Fig. 5 loop ([`crate::diagnose_all`]) and external
+/// schedulers (the fleet's per-trap diagnostic cadence) provably run the
+/// *same* tripwire circuit.
+pub fn canary_for(couplings: &[Coupling], reps: usize, score: ScoreMode) -> TestSpec {
+    TestSpec::for_couplings("canary", couplings, reps).with_score(score)
 }
 
 impl fmt::Display for TestSpec {
@@ -289,6 +316,27 @@ mod tests {
         let spec = TestSpec::for_couplings("class(0,0)", &cs, 2);
         assert_eq!(spec.target, 0b1010101 & 0b1010101);
         assert_eq!(spec.target, (1 << 0) | (1 << 2) | (1 << 4) | (1 << 6));
+    }
+
+    #[test]
+    fn noisy_xx_applies_under_rotations_and_canary_for_matches_inline() {
+        let cs = [Coupling::new(0, 1), Coupling::new(1, 2)];
+        let spec = TestSpec::for_couplings("t", &cs, 2);
+        let faulty = Coupling::new(0, 1);
+        let xx = spec.noisy_xx(4, |c| if c == faulty { 0.25 } else { 0.0 });
+        let mut want = XxCircuit::new(4);
+        want.add_xx(0, 1, FRAC_PI_2 * 0.75)
+            .add_xx(0, 1, FRAC_PI_2 * 0.75)
+            .add_xx(1, 2, FRAC_PI_2)
+            .add_xx(1, 2, FRAC_PI_2);
+        let key =
+            |x: &XxCircuit| x.terms().map(|((a, b), t)| (a, b, t.to_bits())).collect::<Vec<_>>();
+        assert_eq!(key(&xx), key(&want));
+        // canary_for is byte-identical to the inline construction the
+        // Fig. 5 loop historically used.
+        let canary = canary_for(&cs, 4, ScoreMode::WorstQubit);
+        let inline = TestSpec::for_couplings("canary", &cs, 4).with_score(ScoreMode::WorstQubit);
+        assert_eq!(canary, inline);
     }
 
     #[test]

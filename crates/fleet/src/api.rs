@@ -1,0 +1,545 @@
+//! The in-process fleet API: configure, drive, query, summarize.
+//!
+//! [`Fleet`] owns the scheduler side of the tick protocol: it broadcasts
+//! phase messages to the shard workers, batches phase-A prep requests
+//! through the shared cache (building each distinct circuit once per
+//! tick, however many traps requested it), merges phase-B reports in
+//! trap-id order, and closes each tick with the cache's LRU barrier.
+//!
+//! Everything the fleet reports — the [`FleetSummary`] in particular —
+//! is a pure function of `(FleetConfig minus workers, ticks run,
+//! submitted jobs)`. The worker count only changes wall-clock time;
+//! `FleetSummary::to_string()` is bit-identical at `--workers=1`, `2`,
+//! or `8`, and the test suite and CI both pin that.
+
+use crate::cache::SharedPrepCache;
+use crate::machine_day::{fig2_diagnosis_config, FIG2_QUBITS};
+use crate::pool::{shard_bounds, FromShard, Shard, ToShard};
+use crate::trap_state::{FleetParams, TrapStatus};
+use itqc_backend::{CacheCounters, XxPrepared};
+use itqc_faults::drift::{JumpDrift, OrnsteinUhlenbeckDrift};
+use itqc_trap::duty::Activity;
+use std::fmt;
+use std::sync::Arc;
+
+/// Minutes in a simulated machine-day.
+pub const MINUTES_PER_DAY: u64 = 24 * 60;
+
+/// Fleet service configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of traps in the fleet.
+    pub traps: usize,
+    /// Worker threads (0 = one per available core). Never affects
+    /// results, only wall-clock.
+    pub workers: usize,
+    /// Master seed; every per-trap stream derives from it.
+    pub seed: u64,
+    /// Register size of each trap.
+    pub n_qubits: usize,
+    /// Minutes between canary tests.
+    pub canary_cadence_min: u64,
+    /// Minutes between quasi-static drift applications.
+    pub drift_epoch_min: u64,
+    /// Poisson job arrival rate per trap per minute (0 = API-only).
+    pub arrival_rate_per_min: f64,
+    /// Mean exponential job service time, seconds.
+    pub service_secs_mean: f64,
+    /// Job deadline allowance past arrival, seconds.
+    pub job_deadline_s: f64,
+    /// Shared prepared-circuit cache budget, bytes.
+    pub cache_budget_bytes: usize,
+    /// The calibration drift process.
+    pub drift: JumpDrift,
+    /// Diagnosis configuration (thresholds, shots, decoder).
+    pub diag: itqc_core::MultiFaultConfig,
+}
+
+impl Default for FleetConfig {
+    /// The fleet operating point: 11-qubit traps under gentle OU wander
+    /// with rare large jumps (~8 hard faults per trap-day), canaries
+    /// every 2 minutes, drift epochs every 30, and an internal load of
+    /// 4 jobs/trap/minute at 8 s mean service — ≈1.4 M jobs per
+    /// simulated day on a 256-trap fleet.
+    fn default() -> Self {
+        FleetConfig {
+            traps: 8,
+            workers: 1,
+            seed: 20220402,
+            n_qubits: FIG2_QUBITS,
+            canary_cadence_min: 2,
+            drift_epoch_min: 30,
+            arrival_rate_per_min: 4.0,
+            service_secs_mean: 8.0,
+            job_deadline_s: 300.0,
+            cache_budget_bytes: 64 << 20,
+            drift: JumpDrift {
+                base: OrnsteinUhlenbeckDrift { tau_minutes: 240.0, sigma: 0.02 },
+                jumps_per_minute: 1e-4,
+                jump_scale: 0.30,
+            },
+            diag: fig2_diagnosis_config(),
+        }
+    }
+}
+
+impl FleetConfig {
+    fn params(&self) -> FleetParams {
+        FleetParams {
+            n_qubits: self.n_qubits,
+            canary_cadence_min: self.canary_cadence_min.max(1),
+            drift_epoch_min: self.drift_epoch_min.max(1),
+            arrival_rate_per_min: self.arrival_rate_per_min,
+            service_secs_mean: self.service_secs_mean,
+            job_deadline_s: self.job_deadline_s,
+            drift: self.drift,
+            diag: self.diag.clone(),
+        }
+    }
+}
+
+/// Aggregate fleet statistics, accumulated deterministically across
+/// ticks (trap-id merge order; integer counters and order-fixed f64
+/// streams only).
+#[derive(Debug, Default)]
+struct FleetStats {
+    submitted: u64,
+    completed: u64,
+    latencies: Vec<f64>,
+    canaries: u64,
+    trips: u64,
+    diagnoses: u64,
+    tests_run: u64,
+    faults_fixed: u64,
+    prep_requests: u64,
+    prep_batch_builds: u64,
+}
+
+/// The running fleet service. Dropping it shuts the workers down.
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<Shard>,
+    cache: SharedPrepCache,
+    tick: u64,
+    stats: FleetStats,
+    pending_submissions: Vec<(usize, f64)>,
+}
+
+impl Fleet {
+    /// Spawns the shard workers and builds the shared cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traps == 0`, or if the register size exceeds the
+    /// analytic backend's component limit (the canary spans all
+    /// couplings, so its component is the whole register).
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.traps >= 1, "a fleet needs at least one trap");
+        assert!(
+            config.n_qubits <= itqc_backend::MAX_COMPONENT,
+            "canary components must fit the analytic backend ({} qubits max)",
+            itqc_backend::MAX_COMPONENT
+        );
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let params = Arc::new(config.params());
+        let shards = shard_bounds(config.traps, workers)
+            .into_iter()
+            .map(|(lo, hi)| Shard::spawn(lo, hi, config.seed, Arc::clone(&params)))
+            .collect();
+        let cache = SharedPrepCache::new(config.cache_budget_bytes);
+        Fleet {
+            config,
+            shards,
+            cache,
+            tick: 0,
+            stats: FleetStats::default(),
+            pending_submissions: Vec::new(),
+        }
+    }
+
+    /// The configuration the fleet runs under.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Ticks (simulated minutes) run so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Shared (L2) cache counters.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Resident shared-cache entries and bytes.
+    pub fn cache_resident(&self) -> (usize, usize) {
+        (self.cache.len(), self.cache.bytes())
+    }
+
+    /// Queues a user job on `trap`; it arrives at the start of the next
+    /// tick (arrivals are quantized to the minute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn submit(&mut self, trap: usize, service_seconds: f64) {
+        assert!(trap < self.config.traps, "trap {trap} out of range");
+        self.pending_submissions.push((trap, service_seconds));
+    }
+
+    /// Advances the simulation by `minutes` ticks.
+    pub fn run_minutes(&mut self, minutes: u64) {
+        for _ in 0..minutes {
+            self.step_tick();
+        }
+    }
+
+    fn step_tick(&mut self) {
+        let tick = self.tick;
+        // Deliver API submissions before the tick starts.
+        if !self.pending_submissions.is_empty() {
+            let now = tick as f64 * 60.0;
+            let pending = std::mem::take(&mut self.pending_submissions);
+            for shard in &self.shards {
+                let jobs: Vec<(usize, f64, f64)> = pending
+                    .iter()
+                    .filter(|(trap, _)| shard.owns(*trap))
+                    .map(|&(trap, service)| (trap, service, now))
+                    .collect();
+                if !jobs.is_empty() {
+                    shard.send(ToShard::Submit(jobs));
+                }
+            }
+        }
+        // Phase A: arrivals, drift, canary prep requests.
+        for shard in &self.shards {
+            shard.send(ToShard::PhaseA(tick));
+        }
+        // Batch barrier: requests arrive in shard order = trap-id order.
+        // Build each distinct missing circuit once; later requests for
+        // the same key (same-class circuits on other traps) are served
+        // by the fresh entry.
+        for shard in &self.shards {
+            let FromShard::Requests(requests) = shard.recv() else {
+                panic!("phase A reply expected");
+            };
+            for req in requests {
+                self.stats.prep_requests += 1;
+                if self.cache.contains(&req.key) {
+                    self.cache.touch(&req.key, tick);
+                } else {
+                    self.stats.prep_batch_builds += 1;
+                    self.cache.note_misses(1);
+                    let prep = Arc::new(
+                        XxPrepared::prepare(req.xx).expect("canary circuits are commuting-XX"),
+                    );
+                    prep.distributions();
+                    self.cache.admit(req.key, prep, tick);
+                }
+            }
+        }
+        // Mid-tick publication so phase B sees this tick's batch builds
+        // (eviction waits for the end-of-tick barrier).
+        self.cache.publish();
+        let snap = self.cache.snapshot();
+        // Phase B: drain queues against the snapshot.
+        for shard in &self.shards {
+            shard.send(ToShard::PhaseB(tick, snap.clone()));
+        }
+        for shard in &self.shards {
+            let FromShard::Ticked(out) = shard.recv() else {
+                panic!("phase B reply expected");
+            };
+            self.stats.submitted += out.submitted;
+            self.stats.completed += out.completed;
+            self.stats.latencies.extend(out.latencies);
+            self.stats.canaries += out.canaries;
+            self.stats.trips += out.trips;
+            self.stats.diagnoses += out.diagnoses;
+            self.stats.tests_run += out.tests_run;
+            self.stats.faults_fixed += out.faults_fixed;
+            self.cache.note_misses(out.l2.misses);
+            for key in &out.touched {
+                self.cache.note_hit(key, tick);
+            }
+            for (key, prep) in out.built {
+                self.cache.admit(key, prep, tick);
+            }
+        }
+        // Tick barrier: LRU eviction + snapshot republication.
+        self.cache.end_tick(tick);
+        self.tick = tick + 1;
+    }
+
+    /// One trap's operational status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn status(&mut self, trap: usize) -> TrapStatus {
+        assert!(trap < self.config.traps, "trap {trap} out of range");
+        let shard = self.shards.iter().find(|s| s.owns(trap)).expect("covering shards");
+        shard.send(ToShard::Status(trap));
+        let FromShard::Status(status) = shard.recv() else {
+            panic!("status reply expected");
+        };
+        *status
+    }
+
+    /// The end-of-run summary (non-destructive; callable mid-run).
+    pub fn summary(&mut self) -> FleetSummary {
+        let mut duty = [0.0f64; Activity::ALL.len()];
+        let mut l1 = CacheCounters::default();
+        let mut queued = 0usize;
+        for shard in &self.shards {
+            shard.send(ToShard::Drain);
+        }
+        for shard in &self.shards {
+            let FromShard::Drained(drains) = shard.recv() else {
+                panic!("drain reply expected");
+            };
+            for d in drains {
+                for (acc, s) in duty.iter_mut().zip(d.duty.iter()) {
+                    *acc += s;
+                }
+                l1 += d.l1;
+                queued += d.queue_depth;
+            }
+        }
+        let mut sorted = self.stats.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        FleetSummary {
+            traps: self.config.traps,
+            seed: self.config.seed,
+            ticks: self.tick,
+            submitted: self.stats.submitted,
+            completed: self.stats.completed,
+            queued,
+            latency_p50: percentile(&sorted, 0.50),
+            latency_p90: percentile(&sorted, 0.90),
+            latency_p99: percentile(&sorted, 0.99),
+            canaries: self.stats.canaries,
+            trips: self.stats.trips,
+            diagnoses: self.stats.diagnoses,
+            tests_run: self.stats.tests_run,
+            faults_fixed: self.stats.faults_fixed,
+            prep_requests: self.stats.prep_requests,
+            prep_batch_builds: self.stats.prep_batch_builds,
+            shared_cache: self.cache.counters(),
+            shared_entries: self.cache.len(),
+            shared_bytes: self.cache.bytes(),
+            l1_cache: l1,
+            duty,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending slice (0 for empty input).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The deterministic end-of-run report. Its `Display` rendering is the
+/// artifact CI diffs across worker counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// Fleet size.
+    pub traps: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated minutes run.
+    pub ticks: u64,
+    /// Jobs submitted (internal load + API).
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs still queued at report time.
+    pub queued: usize,
+    /// Median completion latency, seconds.
+    pub latency_p50: f64,
+    /// 90th-percentile completion latency, seconds.
+    pub latency_p90: f64,
+    /// 99th-percentile completion latency, seconds.
+    pub latency_p99: f64,
+    /// Canary tests run.
+    pub canaries: u64,
+    /// Canary trips.
+    pub trips: u64,
+    /// Full diagnoses run.
+    pub diagnoses: u64,
+    /// Test circuits executed inside diagnoses.
+    pub tests_run: u64,
+    /// Faults diagnosed and recalibrated.
+    pub faults_fixed: u64,
+    /// Phase-A prep requests batched through the shared cache.
+    pub prep_requests: u64,
+    /// Requests that had to build (the rest were grouped or resident).
+    pub prep_batch_builds: u64,
+    /// Shared (L2) cache hit/miss/eviction totals.
+    pub shared_cache: CacheCounters,
+    /// Resident shared-cache entries.
+    pub shared_entries: usize,
+    /// Resident shared-cache bytes.
+    pub shared_bytes: usize,
+    /// Per-trap (L1) cache totals, summed over traps.
+    pub l1_cache: CacheCounters,
+    /// Fleet-wide seconds per activity, `Activity::ALL` order.
+    pub duty: [f64; Activity::ALL.len()],
+}
+
+impl FleetSummary {
+    /// Completed jobs normalized to one simulated machine-day across
+    /// the whole fleet.
+    pub fn jobs_per_machine_day(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * MINUTES_PER_DAY as f64 / self.ticks as f64
+    }
+}
+
+impl fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fleet summary")?;
+        writeln!(f, "  traps {} seed {} minutes {}", self.traps, self.seed, self.ticks)?;
+        writeln!(
+            f,
+            "  jobs submitted {} completed {} queued {} per-machine-day {:.1}",
+            self.submitted,
+            self.completed,
+            self.queued,
+            self.jobs_per_machine_day()
+        )?;
+        writeln!(
+            f,
+            "  latency_s p50 {:.3} p90 {:.3} p99 {:.3}",
+            self.latency_p50, self.latency_p90, self.latency_p99
+        )?;
+        writeln!(
+            f,
+            "  canaries {} trips {} diagnoses {} tests {} faults_fixed {}",
+            self.canaries, self.trips, self.diagnoses, self.tests_run, self.faults_fixed
+        )?;
+        writeln!(
+            f,
+            "  prep requests {} batch_builds {}",
+            self.prep_requests, self.prep_batch_builds
+        )?;
+        writeln!(
+            f,
+            "  shared_cache hits {} misses {} evictions {} hit_rate {:.4} entries {} bytes {}",
+            self.shared_cache.hits,
+            self.shared_cache.misses,
+            self.shared_cache.evictions,
+            self.shared_cache.hit_rate(),
+            self.shared_entries,
+            self.shared_bytes
+        )?;
+        writeln!(
+            f,
+            "  l1_cache hits {} misses {} hit_rate {:.4}",
+            self.l1_cache.hits,
+            self.l1_cache.misses,
+            self.l1_cache.hit_rate()
+        )?;
+        write!(f, "  duty_s")?;
+        for (&secs, &a) in self.duty.iter().zip(Activity::ALL.iter()) {
+            write!(f, " {}={:.1}", activity_tag(a), secs)?;
+        }
+        writeln!(f)
+    }
+}
+
+fn activity_tag(a: Activity) -> &'static str {
+    match a {
+        Activity::Jobs => "jobs",
+        Activity::Testing => "testing",
+        Activity::Calibration => "calibration",
+        Activity::Adaptation => "adaptation",
+        Activity::Idle => "idle",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(workers: usize) -> FleetConfig {
+        FleetConfig {
+            traps: 3,
+            workers,
+            n_qubits: 6,
+            arrival_rate_per_min: 2.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn summary_is_bit_identical_across_worker_counts() {
+        let mut renders = Vec::new();
+        for workers in [1usize, 2, 3] {
+            let mut fleet = Fleet::new(small_config(workers));
+            fleet.submit(1, 12.5);
+            fleet.run_minutes(8);
+            fleet.submit(2, 3.0);
+            fleet.run_minutes(4);
+            renders.push(fleet.summary().to_string());
+        }
+        assert_eq!(renders[0], renders[1]);
+        assert_eq!(renders[1], renders[2]);
+    }
+
+    #[test]
+    fn canary_batching_turns_repeat_preps_into_hits() {
+        let mut fleet = Fleet::new(FleetConfig { arrival_rate_per_min: 0.0, ..small_config(2) });
+        // Pristine traps share one canary circuit: the very first tick
+        // builds it once and serves every other trap from the batch.
+        fleet.run_minutes(1);
+        let s = fleet.summary();
+        assert_eq!(s.prep_requests, 3);
+        assert_eq!(s.prep_batch_builds, 1, "identical circuits are grouped");
+        assert_eq!(s.canaries, 3);
+        // Within the first drift epoch, repeat canaries are L2 hits.
+        fleet.run_minutes(10);
+        let s = fleet.summary();
+        assert!(
+            s.shared_cache.hit_rate() > 0.5,
+            "quasi-static canaries must hit the shared cache: {:?}",
+            s.shared_cache
+        );
+    }
+
+    #[test]
+    fn submitted_jobs_complete_and_are_measured() {
+        let mut fleet = Fleet::new(FleetConfig { arrival_rate_per_min: 0.0, ..small_config(1) });
+        for _ in 0..5 {
+            fleet.submit(0, 6.0);
+        }
+        fleet.run_minutes(2);
+        let s = fleet.summary();
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.completed, 5);
+        assert!(s.latency_p50 > 0.0 && s.latency_p99 >= s.latency_p50);
+        let status = fleet.status(0);
+        assert_eq!(status.jobs_completed, 5);
+        assert_eq!(status.queue_depth, 0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The cache-routed test executor for fleet traps.
+//!
+//! [`CachedTrapExecutor`] implements `itqc_core::TestExecutor` over a
+//! [`VirtualTrap`], but instead of re-deriving every test circuit's
+//! output statistics shot-engine-style (`VirtualTrap::run_xx_test`), it
+//! resolves the accumulated noisy circuit through the two cache layers
+//! — per-trap L1, shared snapshot L2 — and only builds an
+//! [`XxPrepared`] on a double miss, logging the build so the scheduler
+//! can admit it into the shared cache at the tick barrier.
+//!
+//! Shot outcomes are still drawn from the trap's own RNG
+//! ([`VirtualTrap::observe_binomial`]), so a machine behaves
+//! bit-identically whether its tests run through this executor, another
+//! trap warmed the cache first, or no cache exists at all. This is the
+//! property that makes the fleet summary independent of worker count.
+//!
+//! Requires a trap with zero amplitude jitter (the fleet runs the
+//! quasi-static drift model, where noise moves only at drift epochs):
+//! per-shot jitter would make the circuit — and hence the cache key —
+//! change under the executor's feet.
+
+use crate::cache::{CacheSnapshot, PrepKey, TrapCache};
+use itqc_backend::cache::xx_key;
+use itqc_backend::{CacheCounters, PreparedCircuit, XxPrepared};
+use itqc_core::testplan::ScoreMode;
+use itqc_core::{TestExecutor, TestSpec};
+use itqc_trap::VirtualTrap;
+use std::sync::Arc;
+
+/// Samples and bills one test against an already-prepared circuit,
+/// mirroring `VirtualTrap::run_xx_test` / `run_xx_test_population`
+/// exactly (same probabilities, same RNG stream, same billing).
+/// Returns the observed score in `[0, 1]`.
+pub fn score_prepared(
+    trap: &mut VirtualTrap,
+    prep: &XxPrepared,
+    spec: &TestSpec,
+    shots: usize,
+) -> f64 {
+    if shots == 0 {
+        return 0.0;
+    }
+    let n = trap.n_qubits();
+    let hits = match spec.score {
+        ScoreMode::ExactTarget => {
+            let retention = trap.config().spam.retention(spec.target, n);
+            trap.observe_binomial(shots, prep.probability(spec.target) * retention)
+        }
+        ScoreMode::WorstQubit => {
+            let spam = &trap.config().spam;
+            let spam_keep = 1.0 - (spam.p01 + spam.p10) / 2.0;
+            let mut worst = shots;
+            for &q in prep.support() {
+                let p = prep.qubit_agreement(q, spec.target) * spam_keep;
+                worst = worst.min(trap.observe_binomial(shots, p));
+            }
+            worst
+        }
+    };
+    let dt = trap.config().timing.shots(n, spec.gate_count(), 0, shots);
+    trap.bill_test_time(dt);
+    hits as f64 / shots as f64
+}
+
+/// A per-trap executor routing circuit preparation through the fleet's
+/// cache hierarchy. Borrows the trap and its tick-scoped state for the
+/// duration of one queue item.
+pub struct CachedTrapExecutor<'a> {
+    trap: &'a mut VirtualTrap,
+    l1: &'a mut TrapCache,
+    l2: &'a CacheSnapshot,
+    /// Preparations built on a double miss, logged for barrier admission.
+    built: &'a mut Vec<(PrepKey, Arc<XxPrepared>)>,
+    /// Keys hit in the L2 snapshot (LRU refresh at the barrier).
+    touched: &'a mut Vec<PrepKey>,
+    /// L2 hit/miss outcomes observed against the snapshot.
+    l2_counters: &'a mut CacheCounters,
+}
+
+impl<'a> CachedTrapExecutor<'a> {
+    /// Wires an executor over one trap's tick state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        trap: &'a mut VirtualTrap,
+        l1: &'a mut TrapCache,
+        l2: &'a CacheSnapshot,
+        built: &'a mut Vec<(PrepKey, Arc<XxPrepared>)>,
+        touched: &'a mut Vec<PrepKey>,
+        l2_counters: &'a mut CacheCounters,
+    ) -> Self {
+        debug_assert!(
+            trap.config().amplitude_jitter_std == 0.0,
+            "cached execution needs quasi-static noise (no per-shot jitter)"
+        );
+        CachedTrapExecutor { trap, l1, l2, built, touched, l2_counters }
+    }
+
+    /// Resolves the prepared circuit for `spec` under the trap's current
+    /// calibration: L1, then the L2 snapshot, then build-and-log.
+    pub fn prepared_for(&mut self, spec: &TestSpec) -> Arc<XxPrepared> {
+        let xx = spec.noisy_xx(self.trap.n_qubits(), |c| self.trap.true_under_rotation(c));
+        let key = xx_key(&xx);
+        if let Some(p) = self.l1.get(&key) {
+            return p;
+        }
+        if let Some(p) = self.l2.get(&key) {
+            self.l2_counters.hits += 1;
+            self.touched.push(key.clone());
+            self.l1.insert(key, Arc::clone(&p));
+            return p;
+        }
+        self.l2_counters.misses += 1;
+        let prep = Arc::new(XxPrepared::prepare(xx).expect("fleet test circuits are commuting-XX"));
+        prep.distributions(); // materialize before sharing
+        self.l1.insert(key.clone(), Arc::clone(&prep));
+        self.built.push((key, Arc::clone(&prep)));
+        prep
+    }
+}
+
+impl TestExecutor for CachedTrapExecutor<'_> {
+    fn n_qubits(&self) -> usize {
+        self.trap.n_qubits()
+    }
+
+    fn run_test(&mut self, spec: &TestSpec, shots: usize) -> f64 {
+        if shots == 0 {
+            return 0.0;
+        }
+        let prep = self.prepared_for(spec);
+        score_prepared(self.trap, &prep, spec, shots)
+    }
+
+    fn note_adaptation(&mut self, couplings_compiled: usize) {
+        self.trap.bill_adaptation(couplings_compiled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itqc_circuit::Coupling;
+    use itqc_trap::{Activity, TrapConfig};
+
+    #[allow(clippy::type_complexity)]
+    fn harness(
+        seed: u64,
+    ) -> (
+        VirtualTrap,
+        TrapCache,
+        CacheSnapshot,
+        Vec<(PrepKey, Arc<XxPrepared>)>,
+        Vec<PrepKey>,
+        CacheCounters,
+    ) {
+        let trap = VirtualTrap::new(TrapConfig::ideal(6, seed));
+        (
+            trap,
+            TrapCache::default(),
+            CacheSnapshot::default(),
+            Vec::new(),
+            Vec::new(),
+            CacheCounters::default(),
+        )
+    }
+
+    #[test]
+    fn cached_executor_matches_direct_trap_execution() {
+        // Same seed → the cached path must reproduce the trap's own
+        // shot-engine path bit for bit, for both score modes.
+        let spec_exact = TestSpec::for_couplings("t", &[Coupling::new(0, 3)], 4);
+        let spec_worst = TestSpec::for_couplings("t", &[Coupling::new(1, 2)], 2)
+            .with_score(ScoreMode::WorstQubit);
+        let mut direct = VirtualTrap::new(TrapConfig::ideal(6, 4242));
+        direct.inject_fault(Coupling::new(0, 3), 0.21);
+        let d1 = direct.run_test(&spec_exact, 400);
+        let d2 = direct.run_test(&spec_worst, 250);
+
+        let (mut trap, mut l1, l2, mut built, mut touched, mut c) = harness(4242);
+        trap.inject_fault(Coupling::new(0, 3), 0.21);
+        let mut exec =
+            CachedTrapExecutor::new(&mut trap, &mut l1, &l2, &mut built, &mut touched, &mut c);
+        let c1 = exec.run_test(&spec_exact, 400);
+        let c2 = exec.run_test(&spec_worst, 250);
+        assert_eq!(d1.to_bits(), c1.to_bits());
+        assert_eq!(d2.to_bits(), c2.to_bits());
+        assert_eq!(
+            direct.duty().seconds(Activity::Testing).to_bits(),
+            trap.duty().seconds(Activity::Testing).to_bits(),
+            "billing must match the shot-engine path"
+        );
+        // Both circuits were cold: two L2 misses, two logged builds.
+        assert_eq!((c.hits, c.misses), (0, 2));
+        assert_eq!(built.len(), 2);
+        assert!(touched.is_empty());
+    }
+
+    #[test]
+    fn repeat_tests_hit_l1_and_warm_snapshots_hit_l2() {
+        let spec = TestSpec::for_couplings("t", &[Coupling::new(0, 1)], 2);
+        let (mut trap, mut l1, l2, mut built, mut touched, mut c) = harness(7);
+        {
+            let mut exec =
+                CachedTrapExecutor::new(&mut trap, &mut l1, &l2, &mut built, &mut touched, &mut c);
+            let _ = exec.run_test(&spec, 10);
+            let _ = exec.run_test(&spec, 10); // replay within the tick: L1
+        }
+        assert_eq!((c.hits, c.misses), (0, 1), "replay is absorbed by L1");
+        let l1c = l1.counters();
+        assert_eq!((l1c.hits, l1c.misses), (1, 1));
+
+        // Promote the build into a shared cache and re-run on a fresh tick.
+        let mut shared = crate::cache::SharedPrepCache::new(usize::MAX);
+        for (k, p) in built.drain(..) {
+            shared.admit(k, p, 0);
+        }
+        shared.end_tick(0);
+        let snap = shared.snapshot();
+        l1.begin_tick();
+        let mut exec =
+            CachedTrapExecutor::new(&mut trap, &mut l1, &snap, &mut built, &mut touched, &mut c);
+        let _ = exec.run_test(&spec, 10);
+        assert_eq!((c.hits, c.misses), (1, 1), "next tick is an L2 snapshot hit");
+        assert_eq!(touched.len(), 1, "the hit is logged for LRU refresh");
+        assert!(built.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-trap work queues with a priority/deadline policy.
+//!
+//! Every trap owns one [`WorkQueue`]; the shard worker that owns the
+//! trap drains it inside a tick. Ordering is `(priority, deadline,
+//! submission seq)` — maintenance preempts user work, earlier deadlines
+//! run first within a class, and the unique sequence number makes the
+//! order total (and therefore deterministic) even for items submitted
+//! with identical deadlines.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Diagnosis of a tripped canary — runs before anything else.
+pub const PRIO_DIAGNOSE: u8 = 0;
+/// Scheduled canary test.
+pub const PRIO_CANARY: u8 = 1;
+/// Customer jobs.
+pub const PRIO_JOB: u8 = 2;
+
+/// What a queued item does when it reaches the front.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkKind {
+    /// Full multi-fault diagnosis + targeted recalibration.
+    Diagnose,
+    /// The per-trap canary tripwire.
+    Canary,
+    /// A billed customer job of the given service time.
+    UserJob {
+        /// Seconds of machine time the job occupies.
+        service_seconds: f64,
+    },
+}
+
+/// One queued unit of work.
+#[derive(Clone, Debug)]
+pub struct WorkItem {
+    /// What to run.
+    pub kind: WorkKind,
+    /// Scheduling class (lower runs first).
+    pub priority: u8,
+    /// Submission time, seconds of simulated fleet clock.
+    pub arrival_s: f64,
+    /// Latest acceptable start, seconds — orders items within a class.
+    pub deadline_s: f64,
+    /// Unique per-queue submission counter (final tie-break).
+    pub seq: u64,
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for WorkItem {}
+
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(self.deadline_s.total_cmp(&other.deadline_s))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap adapter (`BinaryHeap` is a max-heap).
+#[derive(Debug, PartialEq, Eq)]
+struct MinItem(WorkItem);
+
+impl Ord for MinItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for MinItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One trap's pending work, drained in `(priority, deadline, seq)`
+/// order.
+#[derive(Debug, Default)]
+pub struct WorkQueue {
+    heap: BinaryHeap<MinItem>,
+    next_seq: u64,
+}
+
+impl WorkQueue {
+    /// Enqueues an item; `arrival_s`/`deadline_s` are simulated seconds.
+    pub fn push(&mut self, kind: WorkKind, priority: u8, arrival_s: f64, deadline_s: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(MinItem(WorkItem { kind, priority, arrival_s, deadline_s, seq }));
+    }
+
+    /// The next item without removing it.
+    pub fn peek(&self) -> Option<&WorkItem> {
+        self.heap.peek().map(|m| &m.0)
+    }
+
+    /// Removes and returns the next item.
+    pub fn pop(&mut self) -> Option<WorkItem> {
+        self.heap.pop().map(|m| m.0)
+    }
+
+    /// Items pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_deadline_then_seq() {
+        let mut q = WorkQueue::default();
+        q.push(WorkKind::UserJob { service_seconds: 1.0 }, PRIO_JOB, 0.0, 10.0);
+        q.push(WorkKind::UserJob { service_seconds: 2.0 }, PRIO_JOB, 0.0, 5.0);
+        q.push(WorkKind::Canary, PRIO_CANARY, 0.0, 60.0);
+        q.push(WorkKind::Diagnose, PRIO_DIAGNOSE, 0.0, 999.0);
+        q.push(WorkKind::UserJob { service_seconds: 3.0 }, PRIO_JOB, 0.0, 5.0);
+        assert_eq!(q.pop().unwrap().kind, WorkKind::Diagnose, "diagnosis preempts all");
+        assert_eq!(q.pop().unwrap().kind, WorkKind::Canary, "canary preempts jobs");
+        let a = q.pop().unwrap();
+        assert_eq!(a.kind, WorkKind::UserJob { service_seconds: 2.0 }, "earlier deadline first");
+        let b = q.pop().unwrap();
+        assert_eq!(b.kind, WorkKind::UserJob { service_seconds: 3.0 }, "seq breaks deadline ties");
+        assert_eq!(q.pop().unwrap().deadline_s, 10.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_equal_keys() {
+        let mut q = WorkQueue::default();
+        for i in 0..5 {
+            q.push(WorkKind::UserJob { service_seconds: i as f64 }, PRIO_JOB, 0.0, 0.0);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().kind, WorkKind::UserJob { service_seconds: i as f64 });
+        }
+    }
+}

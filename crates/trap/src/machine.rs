@@ -229,6 +229,26 @@ impl VirtualTrap {
         self.duty.record(Activity::Jobs, seconds);
     }
 
+    /// Bills idle wall clock without applying drift — for schedulers
+    /// that manage drift on their own cadence (cf. [`Self::advance_time`],
+    /// which couples the two).
+    pub fn bill_idle_time(&mut self, seconds: f64) {
+        self.clock_seconds += seconds;
+        self.duty.record(Activity::Idle, seconds);
+    }
+
+    /// Draws `shots` Bernoulli(`p`) outcomes from the machine's own RNG
+    /// stream and returns the hit count — the sampling half of
+    /// [`Self::run_xx_test`] for external executors that computed `p`
+    /// elsewhere (e.g. through a shared prepared-circuit cache). The
+    /// caller is responsible for billing the test time (see
+    /// [`Self::bill_test_time`]); keeping the draw on the trap's RNG
+    /// keeps the machine fully deterministic in its seed no matter which
+    /// executor runs its tests.
+    pub fn observe_binomial(&mut self, shot_count: usize, p: f64) -> usize {
+        shots::binomial(&mut self.rng, shot_count, p.clamp(0.0, 1.0))
+    }
+
     /// Bills one classical adaptation round that compiles pulses for
     /// `couplings_compiled` couplings.
     pub fn bill_adaptation(&mut self, couplings_compiled: usize) {
@@ -474,6 +494,36 @@ mod tests {
             trap.couplings().iter().filter(|&&c| trap.true_under_rotation(c).abs() > 1e-6).count();
         assert!(moved > 20, "most couplings should have drifted, moved = {moved}");
         assert!(trap.clock_seconds() >= 15.0 * 60.0);
+    }
+
+    #[test]
+    fn observe_binomial_matches_run_xx_test_on_same_seed() {
+        // Same seed, same p → the external-executor sampling path draws
+        // the exact shot sequence run_xx_test would have drawn.
+        let c = Coupling::new(0, 1);
+        let mut a = VirtualTrap::new(TrapConfig::ideal(4, 77));
+        a.inject_fault(c, 0.2);
+        let via_test = a.run_xx_test(&four_ms_gates(c), 0, 500, Activity::Testing);
+        let mut b = VirtualTrap::new(TrapConfig::ideal(4, 77));
+        b.inject_fault(c, 0.2);
+        let mut xx = itqc_sim::XxCircuit::new(4);
+        for _ in 0..4 {
+            xx.add_xx(0, 1, FRAC_PI_2 * 0.8);
+        }
+        let p = xx.fidelity(0);
+        assert_eq!(b.observe_binomial(500, p), via_test);
+    }
+
+    #[test]
+    fn bill_idle_time_records_without_drift() {
+        let mut trap = VirtualTrap::new(TrapConfig::ideal(4, 12));
+        trap.bill_idle_time(42.0);
+        assert_eq!(trap.duty().seconds(Activity::Idle), 42.0);
+        assert_eq!(trap.clock_seconds(), 42.0);
+        // No drift was applied: calibration stays exactly zero.
+        for c in trap.couplings() {
+            assert_eq!(trap.true_under_rotation(c), 0.0);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`faults`] | Table-I taxonomy, Fig.-4 fault models, 1/f noise, SPAM, drift, Eq. 1–2 estimators |
 //! | [`trap`] | virtual machine with hidden calibration state, ion-chain physics, timing/duty model |
 //! | [`core`] | THE PAPER'S CONTRIBUTION: classes, syndromes, single-/multi-fault protocols, baselines, cost model |
+//! | [`fleet`] | `fleetd` fleet service: sharded tick scheduler, shared prepared-circuit cache, batched test plans |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub use itqc_backend as backend;
 pub use itqc_circuit as circuit;
 pub use itqc_core as core;
 pub use itqc_faults as faults;
+pub use itqc_fleet as fleet;
 pub use itqc_math as math;
 pub use itqc_sim as sim;
 pub use itqc_trap as trap;
@@ -55,6 +57,7 @@ pub mod prelude {
         SingleFaultProtocol, Syndrome, TestExecutor, TestSpec,
     };
     pub use itqc_faults::{CouplingFault, FaultKind, IonTrapNoise, SpamModel};
+    pub use itqc_fleet::{Fleet, FleetConfig, FleetSummary};
     pub use itqc_math::Complex64;
     pub use itqc_sim::{run, StateVector, XxCircuit};
     pub use itqc_trap::{Activity, TrapConfig, VirtualTrap};
