@@ -6,7 +6,7 @@ CARGO ?= cargo
 # The 13 evaluation binaries, in paper order (extensions last).
 REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations fig_adv
 
-.PHONY: build test bench fleet-bench repro fmt lint clean
+.PHONY: build test bench fleet-bench repro cost-report fmt lint clean
 
 ## build: release build of every workspace member
 build:
@@ -31,6 +31,18 @@ fleet-bench:
 	diff loadgen.w1.out loadgen.wauto.out
 	@cat loadgen.w1.out
 	@rm -f loadgen.w1.out loadgen.wauto.out
+
+## cost-report: static cost model vs measured wall-clock on the fig8
+## N=8 panel (the CI gate); fails if the predicted/measured ratio
+## drifts outside [0.25, 4.0]
+cost-report:
+	$(CARGO) build --release -p itqc-bench --bin fig8
+	./target/release/fig8 --sizes=8 --cost-report >/dev/null 2>cost-report.err
+	@cat cost-report.err
+	@awk '/^cost-report fig8:/ { r = $$NF + 0; found = 1; \
+		if (r < 0.25 || r > 4.0) { print "cost-model ratio " r " outside [0.25, 4.0]"; exit 1 } } \
+		END { if (!found) { print "no cost-report line on stderr"; exit 1 } }' cost-report.err
+	@rm -f cost-report.err
 
 ## repro: regenerate every paper table/figure (see EXPERIMENTS.md)
 repro: build

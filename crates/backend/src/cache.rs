@@ -23,6 +23,20 @@ use std::rc::Rc;
 /// is ~½ MiB, so 256 entries cap the cache at ~128 MiB worst-case).
 pub const CACHE_CAPACITY: usize = 256;
 
+/// The bit pattern a coupling angle keys under: `-0.0` canonicalises to
+/// `+0.0` (they are the same rotation, but their IEEE-754 bit patterns
+/// differ — keying raw bits made e.g. a `-θ·(1-u)` gate cancelled to
+/// negative zero miss the cache entry its positive-zero twin built).
+/// Every other angle, including the 1-ulp noise perturbations the cache
+/// must keep apart, keys on its exact bits.
+pub fn angle_key_bits(theta: f64) -> u64 {
+    if theta == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        theta.to_bits()
+    }
+}
+
 /// Exact cache key of an accumulated commuting-XX circuit.
 pub fn xx_key(xx: &XxCircuit) -> Vec<u64> {
     let mut key = Vec::with_capacity(1 + 3 * xx.terms().count());
@@ -30,7 +44,7 @@ pub fn xx_key(xx: &XxCircuit) -> Vec<u64> {
     for ((a, b), theta) in xx.terms() {
         key.push(a as u64);
         key.push(b as u64);
-        key.push(theta.to_bits());
+        key.push(angle_key_bits(theta));
     }
     key
 }
@@ -154,6 +168,24 @@ mod tests {
         let mut c = XxCircuit::new(5);
         c.add_xx(0, 1, 0.5);
         assert_ne!(xx_key(&a), xx_key(&c), "register size is part of the key");
+    }
+
+    #[test]
+    fn negative_zero_angles_share_a_key() {
+        // A noisy compilation scales angles by `(1 - u)`: a negative
+        // base angle at u = 1 lands on IEEE -0.0, whose raw bits differ
+        // from +0.0 even though the rotation is the same.
+        let minus_zero = -0.5f64 * (1.0 - 1.0);
+        assert_ne!(minus_zero.to_bits(), 0.0f64.to_bits(), "distinct raw bits (the bug)");
+        let mut neg = XxCircuit::new(4);
+        neg.add_xx(0, 1, minus_zero);
+        let mut pos = XxCircuit::new(4);
+        pos.add_xx(0, 1, 0.0);
+        assert_eq!(xx_key(&neg), xx_key(&pos), "-0.0 and 0.0 are the same rotation");
+        // The canonicalisation must not merge genuinely distinct angles,
+        // however small.
+        assert_eq!(angle_key_bits(1e-300), 1e-300f64.to_bits());
+        assert_eq!(angle_key_bits(-1e-300), (-1e-300f64).to_bits());
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Static cost model for the simulation backends.
+//!
+//! Predicts what a test plan will spend *before* any shot is burned, in
+//! the two currencies the analytic engine actually pays:
+//!
+//! * **table build** — preparing a `c`-qubit component's outcome
+//!   distribution walks `2^c` Gray-code phases and runs a `c·2^c`
+//!   Walsh–Hadamard pass;
+//! * **shots** — each output string draws one uniform per component and
+//!   resolves it against the component's cumulative table in
+//!   `log2(2^c)` bisection steps.
+//!
+//! Exact single-target scoring (the oracle fast path) pays the Gray
+//! walk without the transform. The constants are calibrated on the
+//! reference 1-vCPU container; they are *order-of-magnitude* honest,
+//! not microbenchmarks — the CI gate accepts a predicted/measured ratio
+//! anywhere in `[0.25, 4.0]` and exists to catch the model (or the
+//! engine) drifting out of touch, not to flatter it.
+//!
+//! The bench binaries assemble whole-run [`CostReport`]s from these
+//! per-circuit primitives under `--cost-report` (see
+//! `itqc_bench::cost_report`).
+
+use std::fmt;
+
+/// Seconds per Gray-code phase step (one `cis` evaluation plus the
+/// running-sum updates) — the unit of both table builds and exact
+/// single-target walks.
+pub const PHASE_STEP_SECONDS: f64 = 22e-9;
+
+/// Seconds per Walsh–Hadamard butterfly (one add/sub pair on the
+/// re/im tables).
+pub const BUTTERFLY_SECONDS: f64 = 2.5e-9;
+
+/// Fixed seconds per drawn output string per component: one uniform
+/// variate plus the bisection setup.
+pub const DRAW_SECONDS: f64 = 14e-9;
+
+/// Seconds per bisection step of the inverse-CDF search.
+pub const SEARCH_STEP_SECONDS: f64 = 2.0e-9;
+
+/// The static backend cost model. Distinct from the paper's Fig. 10
+/// *protocol* cost model (`itqc_core::cost`), which counts tests and
+/// shots on simulated hardware — this one prices the simulation itself.
+#[derive(Clone, Copy, Debug)]
+pub struct SimCostModel {
+    phase_step: f64,
+    butterfly: f64,
+    draw: f64,
+    search_step: f64,
+}
+
+impl Default for SimCostModel {
+    fn default() -> Self {
+        SimCostModel {
+            phase_step: PHASE_STEP_SECONDS,
+            butterfly: BUTTERFLY_SECONDS,
+            draw: DRAW_SECONDS,
+            search_step: SEARCH_STEP_SECONDS,
+        }
+    }
+}
+
+impl SimCostModel {
+    /// The reference-container model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seconds to build the outcome tables of one preparation with the
+    /// given component sizes (Gray walk + Walsh–Hadamard per component).
+    pub fn table_build_seconds(&self, component_sizes: &[usize]) -> f64 {
+        component_sizes
+            .iter()
+            .map(|&c| {
+                let size = (1u64 << c) as f64;
+                size * self.phase_step + c as f64 * size * self.butterfly
+            })
+            .sum()
+    }
+
+    /// Seconds for one exact single-target evaluation (the oracle walk;
+    /// no transform, no table retained).
+    pub fn exact_walk_seconds(&self, component_sizes: &[usize]) -> f64 {
+        component_sizes.iter().map(|&c| (1u64 << c) as f64 * self.phase_step).sum()
+    }
+
+    /// Seconds to draw `shots` output strings from built tables.
+    pub fn sample_seconds(&self, component_sizes: &[usize], shots: u64) -> f64 {
+        let per_shot: f64 =
+            component_sizes.iter().map(|&c| self.draw + c as f64 * self.search_step).sum();
+        shots as f64 * per_shot
+    }
+}
+
+/// An accumulated prediction for a whole run: how many preparations and
+/// shots the plan needs and what the model prices them at.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostReport {
+    /// Predicted seconds building outcome tables.
+    pub table_seconds: f64,
+    /// Predicted seconds in exact single-target walks.
+    pub walk_seconds: f64,
+    /// Predicted seconds drawing output strings.
+    pub sample_seconds: f64,
+    /// Preparations (table builds) the plan needs.
+    pub preparations: u64,
+    /// Exact single-target evaluations the plan needs.
+    pub walks: u64,
+    /// Output strings the plan draws.
+    pub shots: u64,
+}
+
+impl CostReport {
+    /// Accumulates `count` table builds of the given component shape.
+    pub fn add_builds(&mut self, model: &SimCostModel, component_sizes: &[usize], count: u64) {
+        self.preparations += count;
+        self.table_seconds += count as f64 * model.table_build_seconds(component_sizes);
+    }
+
+    /// Accumulates `count` exact single-target walks.
+    pub fn add_walks(&mut self, model: &SimCostModel, component_sizes: &[usize], count: u64) {
+        self.walks += count;
+        self.walk_seconds += count as f64 * model.exact_walk_seconds(component_sizes);
+    }
+
+    /// Accumulates `shots` drawn strings against the given shape.
+    pub fn add_shots(&mut self, model: &SimCostModel, component_sizes: &[usize], shots: u64) {
+        self.shots += shots;
+        self.sample_seconds += model.sample_seconds(component_sizes, shots);
+    }
+
+    /// Total predicted seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.table_seconds + self.walk_seconds + self.sample_seconds
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &CostReport) {
+        self.table_seconds += other.table_seconds;
+        self.walk_seconds += other.walk_seconds;
+        self.sample_seconds += other.sample_seconds;
+        self.preparations += other.preparations;
+        self.walks += other.walks;
+        self.shots += other.shots;
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} preps ({:.3} s) + {} walks ({:.3} s) + {} shots ({:.3} s) = {:.3} s predicted",
+            self.preparations,
+            self.table_seconds,
+            self.walks,
+            self.walk_seconds,
+            self.shots,
+            self.sample_seconds,
+            self.total_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_component_size_and_shots() {
+        let model = SimCostModel::new();
+        // Table builds are exponential in component size.
+        let small = model.table_build_seconds(&[8]);
+        let big = model.table_build_seconds(&[16]);
+        assert!(big > 100.0 * small, "{big} vs {small}");
+        // Splitting a register into components is cheaper than one
+        // joint walk.
+        assert!(model.exact_walk_seconds(&[8, 8]) < model.exact_walk_seconds(&[16]));
+        // Sampling is linear in shots and much cheaper per shot than
+        // the build.
+        let s1 = model.sample_seconds(&[16], 1);
+        let s300 = model.sample_seconds(&[16], 300);
+        assert!((s300 / s1 - 300.0).abs() < 1e-6);
+        assert!(model.table_build_seconds(&[16]) > 100.0 * s1);
+    }
+
+    #[test]
+    fn report_accumulates_and_merges() {
+        let model = SimCostModel::new();
+        let mut a = CostReport::default();
+        a.add_builds(&model, &[4, 2], 10);
+        a.add_shots(&model, &[4, 2], 3000);
+        a.add_walks(&model, &[4], 5);
+        assert_eq!((a.preparations, a.shots, a.walks), (10, 3000, 5));
+        let total = a.total_seconds();
+        assert!(total > 0.0);
+        let mut b = CostReport::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert!((b.total_seconds() - 2.0 * total).abs() < 1e-12);
+        assert_eq!(b.shots, 6000);
+        // Display carries the headline number.
+        assert!(format!("{a}").contains("predicted"));
+    }
+}

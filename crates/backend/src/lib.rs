@@ -30,12 +30,19 @@
 
 pub mod analytic;
 pub mod cache;
+pub mod cost;
 pub mod dense;
 pub mod dist;
+pub mod memo;
 
-pub use analytic::{XxAnalyticBackend, XxPrepared, MAX_COMPONENT};
+pub use analytic::{
+    component_cache_stats, ComponentDistCache, XxAnalyticBackend, XxPrepared,
+    COMPONENT_CACHE_CAPACITY, MAX_COMPONENT,
+};
 pub use cache::CacheCounters;
+pub use cost::{CostReport, SimCostModel};
 pub use dense::DenseBackend;
+pub use dist::{sample_strings_blocked, SAMPLE_BLOCK_SHOTS};
 
 use itqc_circuit::Circuit;
 use rand::rngs::SmallRng;
@@ -112,6 +119,16 @@ pub trait PreparedCircuit: fmt::Debug {
     /// component-ordered sampler (one uniform variate per component per
     /// shot; untouched qubits read 0).
     fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize>;
+
+    /// Blocked variant of [`sample`](PreparedCircuit::sample): draws
+    /// whole shot blocks against flat cumulative tables where the
+    /// backend supports it. **Bit-identical** to `sample` from the same
+    /// RNG state — implementations must consume the uniform stream in
+    /// the canonical shot-major order, so callers may switch freely.
+    /// The default delegates to the per-shot path.
+    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+        self.sample(rng, shots)
+    }
 }
 
 /// A simulation engine: turns circuits into [`PreparedCircuit`]s.
@@ -122,6 +139,20 @@ pub trait SimBackend {
     /// Prepares `circuit` for evaluation, or explains why this engine
     /// cannot run it.
     fn prepare(&self, circuit: &Circuit) -> Result<Rc<dyn PreparedCircuit>, BackendError>;
+
+    /// Prepares a batch of circuits destined for shot sampling,
+    /// amortising whatever structure the circuits share. The default
+    /// prepares each circuit independently; the analytic engine
+    /// additionally materializes every preparation's sampling tables
+    /// through the thread's component-distribution cache, so circuits
+    /// sharing a coupling-graph component pay its `2^c` table build
+    /// once. Results are positionally aligned with `circuits`.
+    fn prepare_batch(
+        &self,
+        circuits: &[Circuit],
+    ) -> Vec<Result<Rc<dyn PreparedCircuit>, BackendError>> {
+        circuits.iter().map(|c| self.prepare(c)).collect()
+    }
 }
 
 /// CLI-level backend selection (`--backend=dense|analytic|auto`).
@@ -195,6 +226,29 @@ impl Backend {
             },
         }
     }
+
+    /// Prepares a sampling batch under the selection policy (see
+    /// [`SimBackend::prepare_batch`]); `Auto` amortises each circuit the
+    /// analytic engine accepts and falls back to dense for the rest.
+    pub fn prepare_batch(
+        &self,
+        circuits: &[Circuit],
+    ) -> Vec<Result<Rc<dyn PreparedCircuit>, BackendError>> {
+        match self.choice {
+            BackendChoice::Dense => self.dense.prepare_batch(circuits),
+            BackendChoice::Analytic => self.analytic.prepare_batch(circuits),
+            BackendChoice::Auto => circuits
+                .iter()
+                .map(|c| {
+                    self.analytic
+                        .prepare_batch(std::slice::from_ref(c))
+                        .pop()
+                        .expect("one result per circuit")
+                        .or_else(|_| self.dense.prepare(c))
+                })
+                .collect(),
+        }
+    }
 }
 
 impl SimBackend for Backend {
@@ -208,6 +262,13 @@ impl SimBackend for Backend {
 
     fn prepare(&self, circuit: &Circuit) -> Result<Rc<dyn PreparedCircuit>, BackendError> {
         Backend::prepare(self, circuit)
+    }
+
+    fn prepare_batch(
+        &self,
+        circuits: &[Circuit],
+    ) -> Vec<Result<Rc<dyn PreparedCircuit>, BackendError>> {
+        Backend::prepare_batch(self, circuits)
     }
 }
 

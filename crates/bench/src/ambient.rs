@@ -63,7 +63,10 @@ pub fn ambient_executor_uniform_with<R: Rng + ?Sized>(
 /// include binomial shot noise — essential, since the protocol compares
 /// *sampled* scores against this threshold (a threshold calibrated on
 /// exact scores sits inside the shot-noise band and healthy tests would
-/// false-fail).
+/// false-fail). The returned cut is floored onto the `k/shots` score
+/// grid ([`itqc_core::threshold::snap_to_shot_grid`]) so an interpolated
+/// quantile cannot fail the very score levels the calibration observed;
+/// the string-sampled and parallel calibrators below snap identically.
 #[allow(clippy::too_many_arguments)]
 pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
     n_qubits: usize,
@@ -79,7 +82,7 @@ pub fn calibrate_threshold_uniform<R: Rng + ?Sized>(
     for _ in 0..trials {
         fault_free_trial_scores(n_qubits, reps, ambient_bound, score, shots, rng, &mut scores);
     }
-    stats::quantile(&scores, quantile)
+    itqc_core::threshold::snap_to_shot_grid(stats::quantile(&scores, quantile), shots)
 }
 
 /// The fault-free first-round class battery every threshold calibrator
@@ -159,7 +162,7 @@ pub fn calibrate_threshold_strings_par(
         },
     );
     let scores: Vec<f64> = per_trial.into_iter().flatten().collect();
-    stats::quantile(&scores, quantile)
+    itqc_core::threshold::snap_to_shot_grid(stats::quantile(&scores, quantile), shots)
 }
 
 /// Parallel version of [`calibrate_threshold_uniform`]: trials run on
@@ -190,7 +193,7 @@ pub fn calibrate_threshold_uniform_par(
         },
     );
     let scores: Vec<f64> = per_trial.into_iter().flatten().collect();
-    stats::quantile(&scores, quantile)
+    itqc_core::threshold::snap_to_shot_grid(stats::quantile(&scores, quantile), shots)
 }
 
 /// Draws `k` distinct random couplings on an `n_qubits` machine.

@@ -4,7 +4,7 @@ use itqc_backend::BackendChoice;
 use itqc_core::DecoderPolicy;
 
 /// Common harness options:
-/// `--trials=N  --seed=S  --threads=N|auto  --decoder=P  --backend=B  --csv  --fast`.
+/// `--trials=N  --seed=S  --threads=N|auto  --decoder=P  --backend=B  --csv  --fast  --cost-report`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
@@ -29,6 +29,10 @@ pub struct Args {
     pub csv: bool,
     /// Shrink workloads for smoke testing.
     pub fast: bool,
+    /// Print the static cost-model prediction next to the measured
+    /// wall-clock on stderr after the run (stdout stays byte-identical,
+    /// so the determinism diffs are unaffected).
+    pub cost_report: bool,
 }
 
 impl Args {
@@ -50,6 +54,7 @@ impl Args {
             backend: BackendChoice::Auto,
             csv: false,
             fast: false,
+            cost_report: false,
         };
         for arg in args {
             if let Some(v) = arg.strip_prefix("--trials=") {
@@ -78,6 +83,8 @@ impl Args {
                 out.csv = true;
             } else if arg == "--fast" {
                 out.fast = true;
+            } else if arg == "--cost-report" {
+                out.cost_report = true;
             }
         }
         if out.fast {
@@ -128,7 +135,15 @@ mod tests {
             backend: BackendChoice::Auto,
             csv: false,
             fast: false,
+            cost_report: false,
         }
+    }
+
+    #[test]
+    fn cost_report_flag_parses() {
+        let argv = ["--cost-report".to_string()].into_iter();
+        assert!(Args::parse_from(10, argv).cost_report);
+        assert!(!args().cost_report);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use itqc_bench::output::{f3, pct, section, Table};
 use itqc_bench::Args;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse(120);
     let sizes: Vec<usize> = std::env::args()
         .skip(1)
@@ -107,4 +108,8 @@ fn main() {
         "expected shape: 4-MS amplifies faults harder than 2-MS (smaller minimum\n\
          detectable under-rotation) and larger machines need larger outliers."
     );
+    if args.cost_report {
+        let prediction = itqc_bench::cost_report::fig8_prediction(&sizes, args.trials, FIG8_SHOTS);
+        itqc_bench::cost_report::emit("fig8", &prediction, started.elapsed());
+    }
 }

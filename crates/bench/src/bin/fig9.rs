@@ -9,83 +9,29 @@
 //! k = 1, 2, 3 and 2-MS / 4-MS ladders at N = 8, 16, 32. Panel G: sorted
 //! samples of the composite law at σ = 0.05 and 0.15.
 //!
+//! Measurement lives in [`itqc_bench::fig9`] on the `par_trials` harness:
+//! every `(σ, k)` point derives a private per-trial seed stream, so stdout
+//! is byte-identical at any `--threads` value (the CI determinism job
+//! diffs it) and the panels parallelize across cores.
+//!
 //! Expected shape (paper): wider spreads separate the faults in magnitude,
 //! so identification improves with σ — and faster for the deeper 4-MS
 //! tests.
 
+use itqc_bench::fig9::{fig9_panel, FIG9_BAND, FIG9_SCORE, FIG9_SHOTS};
 use itqc_bench::output::{f3, pct, section, Table};
-use itqc_bench::{Args, ShotSampled};
-use itqc_core::testplan::ScoreMode;
-use itqc_core::{diagnose_all, ExactExecutor, LabelSpace, MultiFaultConfig};
+use itqc_bench::Args;
 use itqc_math::rng::{CompositeUnderRotation, Distribution};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-const SHOTS: usize = 300;
-const SCORE: ScoreMode = ScoreMode::WorstQubit;
-
-/// One trial, following the Fig. 9 caption: k faulty gates draw their
-/// under-rotations from the right-Gaussian tail at the 6% line with
-/// spread σ, "in the presence of uniformly spread under-rotation up to
-/// 6%" on every other coupling. Larger σ separates the faults from the
-/// body (and from each other), which is exactly why identification
-/// improves with spread. The pipeline must find all k tail faults.
-fn trial<R: Rng + ?Sized>(
-    n: usize,
-    k: usize,
-    sigma: f64,
-    base_reps: usize,
-    threshold: f64,
-    decoder: itqc_core::DecoderPolicy,
-    rng: &mut R,
-) -> bool {
-    let space = LabelSpace::new(n);
-    let all = space.all_couplings();
-    // Body: uniform within the calibration band.
-    let mut draws: Vec<f64> = all.iter().map(|_| rng.gen_range(0.0..0.06)).collect();
-    // Tail: k faults at 0.06 + |N(0, σ)| on distinct random couplings.
-    let mut chosen = std::collections::BTreeSet::new();
-    while chosen.len() < k {
-        chosen.insert(rng.gen_range(0..all.len()));
-    }
-    for &i in &chosen {
-        draws[i] = 0.06 + (sigma * itqc_math::rng::standard_normal(rng)).abs();
-    }
-    let truth: std::collections::BTreeSet<_> = chosen.iter().map(|&i| all[i]).collect();
-
-    let exec = ExactExecutor::new(n).with_faults(all.iter().copied().zip(draws.iter().copied()));
-    let mut shot_exec = ShotSampled::new(exec, rng.gen());
-    let config = MultiFaultConfig {
-        reps_ladder: vec![base_reps, base_reps * 2, base_reps * 4],
-        threshold,
-        canary_threshold: threshold,
-        shots: SHOTS,
-        canary_shots: SHOTS,
-        max_faults: k + 2,
-        decoder,
-        // Shot-sampled scores over a ±6% uniform ambient body.
-        ranked_sigma: itqc_core::threshold::observation_sigma(SHOTS, 0.03, base_reps),
-        score: SCORE,
-        canary_score: SCORE,
-        max_threshold_retunes: 4,
-        fusion_rounds: 2,
-        fault_magnitude: 0.10,
-        canary_rotations: 0,
-        canary_seed: 0,
-    };
-    let report = diagnose_all(&mut shot_exec, n, &config);
-    let found: std::collections::BTreeSet<_> = report.couplings().into_iter().collect();
-    truth.is_subset(&found)
-}
+use rand::SeedableRng;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse(60);
     let decoder = args.decoder();
     section(&format!(
         "Fig. 9: P(identify k largest faults) vs composite-law spread sigma ({decoder} decoder)"
     ));
-
-    let sigmas = [0.02, 0.05, 0.08, 0.11, 0.15, 0.20];
 
     // Panel G first: the sampled distributions.
     section("panel G: sorted under-rotation samples (28 couplings, N = 8)");
@@ -108,30 +54,33 @@ fn main() {
     for reps in [2usize, 4] {
         for n in [8usize, 16, 32] {
             let tag = format!("fig9/n={n}/r={reps}");
-            let mut rng = SmallRng::seed_from_u64(args.seed_for(&tag));
             // Thresholds calibrated on the composite law's ambient body
             // (uniform ±6% within the band).
             let threshold = itqc_bench::ambient::calibrate_threshold_uniform_par(
                 args.threads,
                 n,
                 reps,
-                0.06,
-                SCORE,
-                SHOTS,
+                FIG9_BAND,
+                FIG9_SCORE,
+                FIG9_SHOTS,
                 0.005,
                 60,
                 args.seed_for(&format!("{tag}/threshold")),
             );
+            let panel = fig9_panel(
+                n,
+                reps,
+                threshold,
+                args.trials,
+                args.threads,
+                decoder,
+                args.seed_for(&tag),
+            );
             section(&format!("{n} qubits, {reps}-MS ladder (threshold {})", f3(threshold)));
             let mut table = Table::new(["sigma", "k=1", "k=2", "k=3"]);
-            for &sigma in &sigmas {
-                let mut cells = vec![format!("{sigma:.2}")];
-                for k in 1..=3usize {
-                    let ok = (0..args.trials)
-                        .filter(|_| trial(n, k, sigma, reps, threshold, decoder, &mut rng))
-                        .count();
-                    cells.push(f3(ok as f64 / args.trials as f64));
-                }
+            for row in &panel.rows {
+                let mut cells = vec![format!("{:.2}", row.sigma)];
+                cells.extend(row.p_identify.iter().map(|&p| f3(p)));
                 table.row(cells);
             }
             println!("{}", table.render());
@@ -145,4 +94,8 @@ fn main() {
          fault magnitudes); multi-fault identification is harder at larger N; the\n\
          4-MS ladder improves faster than 2-MS (higher contrast)."
     );
+    if args.cost_report {
+        let prediction = itqc_bench::cost_report::fig9_prediction(args.trials);
+        itqc_bench::cost_report::emit("fig9", &prediction, started.elapsed());
+    }
 }

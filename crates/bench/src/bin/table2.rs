@@ -29,6 +29,7 @@ use itqc_bench::{table2_identification_rate, Args};
 use itqc_core::DecoderPolicy;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse(300);
     let decoder = args.decoder();
     section(&format!("Table II: P(identify) for k same-magnitude faults ({decoder} decoder)"));
@@ -83,4 +84,8 @@ fn main() {
          and set-cover policies go beyond the paper's pipeline by point-testing\n\
          disputed members (targeted) or every implicated coupling (exhaustive)."
     );
+    if args.cost_report {
+        let prediction = itqc_bench::cost_report::table2_prediction(args.trials);
+        itqc_bench::cost_report::emit("table2", &prediction, started.elapsed());
+    }
 }

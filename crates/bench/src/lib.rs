@@ -25,10 +25,12 @@
 pub mod adversarial;
 pub mod ambient;
 pub mod args;
+pub mod cost_report;
 pub mod coupling_census;
 pub mod detectability;
 pub mod duty_cycle;
 pub mod echo;
+pub mod fig9;
 pub mod natural_faults;
 pub mod output;
 pub mod par_trials;
@@ -42,6 +44,7 @@ pub use adversarial::{adversarial_score, AdversarialScore};
 pub use ambient::ambient_executor;
 pub use args::Args;
 pub use detectability::{fig8_curve, fig8_threshold, DetectabilityCurve};
+pub use fig9::{fig9_panel, Fig9Panel};
 pub use output::Table;
 pub use par_trials::{par_map, par_trials, split_seed};
 pub use protocol_stats::table2_identification_rate;

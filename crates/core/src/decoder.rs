@@ -34,7 +34,7 @@
 //!   ([`DecoderPolicy::SetCoverFallback`]).
 
 use crate::classes::{LabelSpace, SubcubeClass};
-use crate::executor::predicted_class_score;
+use crate::executor::{predicted_class_score, ClassScorePredictor};
 use crate::syndrome::Syndrome;
 use crate::testplan::ScoreMode;
 use itqc_circuit::Coupling;
@@ -156,6 +156,30 @@ pub fn consistent_couplings(
         .collect()
 }
 
+/// Packs a failing-set element into its bit position: `(bit, value)` →
+/// `bit*2 + value`. A `LabelSpace` has `log2(n)` bits, so even a
+/// 2³²-qubit machine fits the resulting index in a `u64` — the whole
+/// failing set becomes one machine word, and the cover search's
+/// clone/remove churn becomes two bitwise ops per candidate.
+#[inline]
+fn element_bit(bit: u32, value: bool) -> u64 {
+    debug_assert!(bit < 32, "failing-set bit index {bit} exceeds the u64 mask width");
+    1u64 << (bit * 2 + value as u32)
+}
+
+/// The bitmask form of a failing set (order-independent OR of
+/// [`element_bit`]s).
+fn failing_mask(failing: &FailingSet) -> u64 {
+    failing.iter().fold(0u64, |m, &(bit, value)| m | element_bit(bit, value))
+}
+
+/// The bitmask form of one coupling's syndrome.
+fn syndrome_mask(c: Coupling, n_bits: u32) -> u64 {
+    Syndrome::of_coupling(c, n_bits)
+        .iter()
+        .fold(0u64, |m, (bit, value)| m | element_bit(bit, value))
+}
+
 /// Finds exact covers of `failing` by syndromes of consistent couplings,
 /// of minimum cardinality, returning at most `cap` distinct covers
 /// (2 suffices to decide uniqueness). Searches sizes `0..=max_size`.
@@ -171,20 +195,17 @@ pub fn minimal_covers(
         return vec![Vec::new()];
     }
     let candidates = consistent_couplings(failing, space, excluded);
-    // Precompute syndromes; drop couplings with empty syndromes — they
-    // can never help cover anything.
-    let cands: Vec<(Coupling, Vec<(u32, bool)>)> = candidates
+    // Precompute syndrome masks; drop couplings with empty syndromes —
+    // they can never help cover anything.
+    let cands: Vec<(Coupling, u64)> = candidates
         .into_iter()
-        .map(|c| {
-            let syn: Vec<(u32, bool)> = Syndrome::of_coupling(c, space.n_bits()).iter().collect();
-            (c, syn)
-        })
-        .filter(|(_, syn)| !syn.is_empty())
+        .map(|c| (c, syndrome_mask(c, space.n_bits())))
+        .filter(|&(_, syn)| syn != 0)
         .collect();
 
     let mut found: Vec<Vec<Coupling>> = Vec::new();
     for size in 1..=max_size {
-        search_covers(failing, &cands, size, &mut Vec::new(), 0, &mut found, cap);
+        search_covers(failing_mask(failing), &cands, size, &mut Vec::new(), 0, &mut found, cap);
         if !found.is_empty() {
             break; // minimal size reached
         }
@@ -193,8 +214,8 @@ pub fn minimal_covers(
 }
 
 fn search_covers(
-    uncovered: &FailingSet,
-    cands: &[(Coupling, Vec<(u32, bool)>)],
+    uncovered: u64,
+    cands: &[(Coupling, u64)],
     budget: usize,
     chosen: &mut Vec<Coupling>,
     start: usize,
@@ -204,7 +225,7 @@ fn search_covers(
     if found.len() >= cap {
         return;
     }
-    if uncovered.is_empty() {
+    if uncovered == 0 {
         found.push(chosen.clone());
         return;
     }
@@ -213,17 +234,13 @@ fn search_covers(
     }
     // Choose couplings in index order to enumerate each subset once.
     for idx in start..cands.len() {
-        let (c, syn) = &cands[idx];
+        let (c, syn) = cands[idx];
         // Must make progress on the uncovered set.
-        if !syn.iter().any(|e| uncovered.contains(e)) {
+        if syn & uncovered == 0 {
             continue;
         }
-        let mut next: FailingSet = uncovered.clone();
-        for e in syn {
-            next.remove(e);
-        }
-        chosen.push(*c);
-        search_covers(&next, cands, budget - 1, chosen, idx + 1, found, cap);
+        chosen.push(c);
+        search_covers(uncovered & !syn, cands, budget - 1, chosen, idx + 1, found, cap);
         chosen.pop();
         if found.len() >= cap {
             return;
@@ -253,20 +270,25 @@ pub fn covers_up_to(
     if failing.is_empty() {
         return vec![Vec::new()];
     }
-    let cands: Vec<(Coupling, Vec<(u32, bool)>)> = consistent_couplings(failing, space, excluded)
+    let cands: Vec<(Coupling, u64)> = consistent_couplings(failing, space, excluded)
         .into_iter()
-        .map(|c| {
-            let syn: Vec<(u32, bool)> = Syndrome::of_coupling(c, space.n_bits()).iter().collect();
-            (c, syn)
-        })
-        .filter(|(_, syn)| !syn.is_empty())
+        .map(|c| (c, syndrome_mask(c, space.n_bits())))
+        .filter(|&(_, syn)| syn != 0)
         .collect();
     let mut found: Vec<Vec<Coupling>> = Vec::new();
     for size in 1..=max_size {
         if found.len() >= cap {
             break;
         }
-        search_covers_sized(failing, &cands, size, &mut Vec::new(), 0, &mut found, cap);
+        search_covers_sized(
+            failing_mask(failing),
+            &cands,
+            size,
+            &mut Vec::new(),
+            0,
+            &mut found,
+            cap,
+        );
     }
     found
 }
@@ -275,8 +297,8 @@ pub fn covers_up_to(
 /// remaining `budget` (so size-by-size enumeration never duplicates a
 /// smaller cover found in an earlier pass).
 fn search_covers_sized(
-    uncovered: &FailingSet,
-    cands: &[(Coupling, Vec<(u32, bool)>)],
+    uncovered: u64,
+    cands: &[(Coupling, u64)],
     budget: usize,
     chosen: &mut Vec<Coupling>,
     start: usize,
@@ -286,7 +308,7 @@ fn search_covers_sized(
     if found.len() >= cap {
         return;
     }
-    if uncovered.is_empty() {
+    if uncovered == 0 {
         if budget == 0 {
             found.push(chosen.clone());
         }
@@ -296,16 +318,12 @@ fn search_covers_sized(
         return;
     }
     for idx in start..cands.len() {
-        let (c, syn) = &cands[idx];
-        if !syn.iter().any(|e| uncovered.contains(e)) {
+        let (c, syn) = cands[idx];
+        if syn & uncovered == 0 {
             continue;
         }
-        let mut next: FailingSet = uncovered.clone();
-        for e in syn {
-            next.remove(e);
-        }
-        chosen.push(*c);
-        search_covers_sized(&next, cands, budget - 1, chosen, idx + 1, found, cap);
+        chosen.push(c);
+        search_covers_sized(uncovered & !syn, cands, budget - 1, chosen, idx + 1, found, cap);
         chosen.pop();
         if found.len() >= cap {
             return;
@@ -485,19 +503,43 @@ impl CoverPosterior {
     /// profiling), and the returned pair is the profile maximum and its
     /// grid location.
     fn fused_profile(&self, cover: &[Coupling]) -> (f64, f64) {
-        type RoundPartition<'a> = (Vec<(Vec<Coupling>, f64)>, &'a CoverModel);
+        type RoundPredictors = (Vec<(ClassScorePredictor, f64)>, f64);
         let (u_lo, u_hi, steps) = COVER_U_GRID;
-        let parts: Vec<RoundPartition<'_>> = self
+        // Hoist the u-independent work — class membership, forward-model
+        // branch selection, degree/mask construction — out of the
+        // magnitude grid; each grid point pays only the trigonometry.
+        // The per-u arithmetic matches `log_likelihood_of_partition`
+        // exactly (same values, same summation order).
+        let rounds: Vec<RoundPredictors> = self
             .rounds
             .iter()
-            .map(|r| (partition_by_class(cover, &r.observed), &r.model))
+            .map(|r| {
+                let inv = 0.5 / (r.model.sigma * r.model.sigma);
+                let preds = partition_by_class(cover, &r.observed)
+                    .into_iter()
+                    .map(|(members, obs)| {
+                        (ClassScorePredictor::new(&members, r.model.reps, r.model.score), obs)
+                    })
+                    .collect();
+                (preds, inv)
+            })
             .collect();
         let mut best = f64::NEG_INFINITY;
         let mut best_u = u_lo;
         for s in 0..steps {
             let u = u_lo + (u_hi - u_lo) * s as f64 / (steps - 1) as f64;
-            let ll: f64 =
-                parts.iter().map(|(p, model)| log_likelihood_of_partition(p, u, model)).sum();
+            let ll: f64 = rounds
+                .iter()
+                .map(|(preds, inv)| {
+                    preds
+                        .iter()
+                        .map(|(pred, obs)| {
+                            let d = obs - pred.at(u);
+                            -d * d * inv
+                        })
+                        .sum::<f64>()
+                })
+                .sum();
             if ll > best {
                 best = ll;
                 best_u = u;

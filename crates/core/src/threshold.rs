@@ -81,6 +81,27 @@ pub fn detection_margin(u: f64, reps: usize, threshold: f64) -> f64 {
     threshold - crate::executor::point_test_fidelity(u, reps)
 }
 
+/// Snaps a calibrated threshold down onto the `shots`-shot score grid.
+///
+/// Sampled scores are counts over `shots`, so they only take values
+/// `k/shots` — but a quantile interpolated from calibration samples
+/// lands *between* grid levels. A threshold strictly inside the band
+/// above level `k/shots` fails every future healthy test that scores
+/// exactly `k/shots`, even though the calibration itself observed
+/// healthy scores at that level: the false-fail rate quietly multiplies
+/// (measured ~5× the calibrated quantile on the 32-qubit Fig. 8 panel,
+/// where one corrupted syndrome per ~20 trials held the 4-MS knee one
+/// miss in 120 short of the paper's 30 % point). Flooring the cut onto
+/// the grid makes "score < threshold" pass the boundary level, so the
+/// cut separates exactly the levels the calibration distinguished.
+/// `shots == 0` (exact scores, no grid) passes through unchanged.
+pub fn snap_to_shot_grid(threshold: f64, shots: usize) -> f64 {
+    if shots == 0 {
+        return threshold;
+    }
+    (threshold * shots as f64).floor() / shots as f64
+}
+
 /// Floor of the ranked decoder's observation noise: the product forward
 /// model ([`crate::executor::predicted_class_score`]) truncates the
 /// interference of fault *cycles* within one class, so even exact
@@ -182,6 +203,25 @@ mod tests {
         }
         // Deeper rounds amplify the fault further, so their cut drops.
         assert!(contrast_threshold(0.22, 4) < contrast_threshold(0.22, 2));
+    }
+
+    #[test]
+    fn snap_to_shot_grid_passes_the_boundary_level() {
+        // A cut interpolated strictly inside the band above 157/300
+        // must floor onto the level itself, so a sampled score of
+        // exactly 157/300 passes the strict `score < threshold` test.
+        let interpolated = 0.52599;
+        let snapped = snap_to_shot_grid(interpolated, 300);
+        assert_eq!(snapped.to_bits(), (157.0f64 / 300.0).to_bits());
+        let boundary_score = 157.0f64 / 300.0;
+        assert!(boundary_score < interpolated, "the unsnapped cut fails the boundary level");
+        assert!(boundary_score >= snapped, "the snapped cut must pass it");
+        // A score one shot lower still fails.
+        assert!(156.0 / 300.0 < snapped);
+        // Already-on-grid thresholds are fixed points; exact scoring
+        // (shots == 0) has no grid.
+        assert_eq!(snap_to_shot_grid(snapped, 300).to_bits(), snapped.to_bits());
+        assert_eq!(snap_to_shot_grid(0.5259, 0), 0.5259);
     }
 
     #[test]

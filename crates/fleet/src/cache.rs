@@ -361,6 +361,24 @@ mod tests {
     }
 
     #[test]
+    fn negative_zero_angles_share_one_l2_entry() {
+        // A noisy-angle pipeline can compute `theta * -u` with `u == 0`
+        // and produce `-0.0`, whose raw f64 bits differ from `+0.0`.
+        // The key path (`itqc_backend::cache::xx_key`) canonicalises
+        // the sign of zero, so both spellings must land on one PrepKey
+        // and therefore one L2 entry — distinct keys would silently
+        // double the fleet's cached bytes for identical tables.
+        let (k_pos, p_pos) = prep(0.0);
+        let (k_neg, p_neg) = prep(-0.0);
+        assert_eq!(k_pos, k_neg, "-0.0 and +0.0 must canonicalise to the same PrepKey");
+        let mut cache = SharedPrepCache::new(usize::MAX);
+        cache.admit(k_pos.clone(), p_pos, 0);
+        cache.admit(k_neg, p_neg, 0);
+        assert_eq!(cache.len(), 1, "one entry for both zero spellings");
+        assert!(cache.lookup(&k_pos, 1).is_some());
+    }
+
+    #[test]
     fn admit_is_idempotent_across_shards() {
         let (k0, p0) = prep(0.7);
         let mut cache = SharedPrepCache::new(usize::MAX);

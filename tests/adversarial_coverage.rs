@@ -34,6 +34,7 @@ fn seed_for(tag: &str) -> u64 {
         backend: itqc_backend::BackendChoice::Auto,
         csv: false,
         fast: false,
+        cost_report: false,
     }
     .seed_for(tag)
 }

@@ -177,6 +177,129 @@ fn adversarial_scenarios_agree_across_backends() {
 }
 
 #[test]
+fn batched_prepare_and_blocked_sampling_match_the_unbatched_path_bit_for_bit() {
+    // The batch-first seam: `prepare_batch` must hand back circuits
+    // whose `sample_block` output — the path fig8/fig9/table2 and the
+    // fleet ride — is bit-identical to per-circuit `prepare` +
+    // per-shot `sample` from the same RNG state, at shot counts
+    // straddling the 4096-shot block boundary, on every backend.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xBA7C + case);
+        let circuits: Vec<Circuit> = (0..3).map(|_| random_xx_circuit(&mut rng)).collect();
+        for choice in [BackendChoice::Dense, BackendChoice::Analytic, BackendChoice::Auto] {
+            let backend = Backend::new(choice);
+            let batched = backend.prepare_batch(&circuits);
+            for (circuit, batch_prep) in circuits.iter().zip(batched) {
+                let batch_prep = batch_prep.expect("pure-XX circuits prepare on every backend");
+                let single = backend.prepare(circuit).unwrap();
+                let seed = rng.gen::<u64>();
+                for shots in [0usize, 1, 300, 4095, 4099] {
+                    let mut r1 = SmallRng::seed_from_u64(seed);
+                    let mut r2 = SmallRng::seed_from_u64(seed);
+                    let a = single.sample(&mut r1, shots);
+                    let b = batch_prep.sample_block(&mut r2, shots);
+                    assert_eq!(a, b, "case {case} {choice:?} shots {shots}");
+                    assert_eq!(
+                        r1.gen::<u64>(),
+                        r2.gen::<u64>(),
+                        "case {case} {choice:?} shots {shots}: RNG stream desynced"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_sampler_is_block_size_invariant_on_prepared_distributions() {
+    // Block 1 (the per-shot access pattern) and block 4096 (the
+    // production block) must produce identical strings from a real
+    // prepared circuit's component tables, across the block boundary.
+    use itqc_backend::dist::{sample_strings, sample_strings_blocked_with};
+    use itqc_backend::XxPrepared;
+    let mut xx = itqc_sim::XxCircuit::new(9);
+    xx.add_xx(0, 1, 0.31);
+    xx.add_xx(1, 2, -0.62);
+    xx.add_xx(3, 4, 1.17);
+    xx.add_xx(6, 7, 0.05);
+    xx.add_xx(7, 8, 2.41);
+    let prep = XxPrepared::prepare(xx).unwrap();
+    let dists = prep.distributions();
+    for shots in [1usize, 4095, 4096, 4097, 8200] {
+        let mut r_ref = SmallRng::seed_from_u64(0xB10C);
+        let reference = sample_strings(dists, &mut r_ref, shots);
+        for block in [1usize, 7, 4096] {
+            let mut r = SmallRng::seed_from_u64(0xB10C);
+            let got = sample_strings_blocked_with(dists, &mut r, shots, block);
+            assert_eq!(got, reference, "shots {shots} block {block}");
+            assert_eq!(
+                r.gen::<u64>(),
+                r_ref.clone().gen::<u64>(),
+                "shots {shots} block {block}: RNG stream desynced"
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_model_prediction_brackets_measured_build_and_sample_time() {
+    // Sanity bounds, not a microbenchmark: on a single-component
+    // 14-qubit chain the static model's build + sample prediction must
+    // sit within 50× of the measured wall-clock either way (the CI
+    // cost gate holds the end-to-end fig8 run to a much tighter
+    // [0.25, 4.0]; this pins the per-primitive constants against
+    // bit-rot at integration level, with slack for noisy runners).
+    use itqc_backend::{SimCostModel, XxPrepared};
+    const BUILDS: usize = 8;
+    const SHOTS: usize = 100_000;
+    let model = SimCostModel::new();
+    let sizes = [14usize];
+    let predicted_build = BUILDS as f64 * model.table_build_seconds(&sizes);
+    let predicted_sample = model.sample_seconds(&sizes, SHOTS as u64);
+    let mut rng = SmallRng::seed_from_u64(0xC057);
+
+    let t0 = std::time::Instant::now();
+    let preps: Vec<XxPrepared> = (0..BUILDS)
+        .map(|i| {
+            let mut xx = itqc_sim::XxCircuit::new(14);
+            for q in 0..13 {
+                // Distinct angles per build so the component cache
+                // cannot short-circuit the work being measured.
+                xx.add_xx(q, q + 1, 0.1 + 0.01 * (i * 13 + q) as f64);
+            }
+            let prep = XxPrepared::prepare(xx).unwrap();
+            prep.distributions(); // force the table build
+            prep
+        })
+        .collect();
+    let measured_build = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let strings = preps[0].distributions();
+    let drawn = sample_via(strings, &mut rng, SHOTS);
+    let measured_sample = t1.elapsed().as_secs_f64();
+    assert_eq!(drawn.len(), SHOTS);
+
+    for (label, predicted, measured) in
+        [("build", predicted_build, measured_build), ("sample", predicted_sample, measured_sample)]
+    {
+        let ratio = predicted / measured.max(1e-12);
+        assert!(
+            (1.0 / 50.0..=50.0).contains(&ratio),
+            "{label}: predicted {predicted:.6} s vs measured {measured:.6} s (ratio {ratio:.3})"
+        );
+    }
+}
+
+fn sample_via(
+    dists: &[itqc_backend::dist::ComponentDist],
+    rng: &mut SmallRng,
+    shots: usize,
+) -> Vec<usize> {
+    itqc_backend::sample_strings_blocked(dists, rng, shots)
+}
+
+#[test]
 fn auto_choice_matches_forced_analytic_on_xx_circuits() {
     for case in 0..8 {
         let mut rng = SmallRng::seed_from_u64(0xA070 + case);

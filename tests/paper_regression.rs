@@ -47,6 +47,7 @@ fn seed_for(tag: &str) -> u64 {
         backend: itqc_backend::BackendChoice::Auto,
         csv: false,
         fast: false,
+        cost_report: false,
     }
     .seed_for(tag)
 }
@@ -179,44 +180,44 @@ fn fig8_min_u95(n: usize, reps: usize, trials: usize) -> Option<f64> {
 #[test]
 fn fig8_8q_and_16q_knees_match_paper_exactly() {
     // Paper: minimum under-rotation at 95 % identification is 25/30 %
-    // (2-MS) and 20/25 % (4-MS) for 8/16 qubits; EXPERIMENTS.md measures
-    // all four exactly at the binary's seeds and 120 trials. At 60
-    // trials the binomial 95 % half-width at p ≈ 0.95 is ≈ 5.5 points,
-    // which can move the knee by at most one 5 %-grid step — so the
-    // assertion window is the paper value ± one step.
+    // (2-MS) and 20/25 % (4-MS) for 8/16 qubits. All four knees measure
+    // exactly on the paper values at the binary's seeds — pinned to the
+    // exact 5 %-grid point (the knee is a plateau crossing: the plateau
+    // sits at ≈ 0.98–1.00, comfortably above the 95 % bar even at the
+    // 60-trial binomial half-width, so the crossing point is stable).
     for (n, reps, paper) in [(8, 2, 0.25), (16, 2, 0.30), (8, 4, 0.20), (16, 4, 0.25)] {
         let min_u = fig8_min_u95(n, reps, 60).expect("knee must exist below 50%");
         assert!(
-            (min_u - paper).abs() < 0.05 + 1e-12,
+            (min_u - paper).abs() < 1e-9,
             "{n}q {reps}MS: min-u {min_u:.2} vs paper {paper:.2}"
         );
     }
 }
 
 #[test]
-fn fig8_32q_knees_match_paper_within_one_step() {
+fn fig8_32q_knees_match_paper_exactly() {
     // Paper: 35 % at 2-MS and 30 % at 4-MS on 32 qubits. Both knees
     // used to sit one 5 %-grid step high (40/35 %) because the
     // verification point test — the highest-scoring faulty test, with
     // no ambient co-factors — sat ~1.7σ from the class-calibrated
-    // threshold. With per-run contrast verification
-    // (`SingleFaultProtocol::with_contrast_verification`, which
-    // re-places the verification cut at the fault-vs-healthy midpoint
-    // of the fitted magnitude) EXPERIMENTS.md measures the 2-MS knee
-    // exactly at the paper's 35 %, and the 4-MS knee at 35 % with
-    // P(identify) = 0.942 at the paper's own 30 % point — one miss in
-    // 120 short of the 95 % bar. The pinned windows are therefore the
-    // measured knee ± one grid step: 2-MS in 30–40 %, 4-MS in 25–40 %
-    // (the paper value itself stays inside both). Reduced to 30 trials
-    // to keep the 32-qubit cells inside the CI budget (the knee is a
-    // plateau crossing, far less trial-sensitive than the plateau
-    // height).
-    for (reps, lo, hi) in [(2, 0.30, 0.40), (4, 0.25, 0.40)] {
+    // threshold; per-run contrast verification
+    // (`SingleFaultProtocol::with_contrast_verification`) fixed the
+    // 2-MS knee. The 4-MS knee then still measured one miss in 120
+    // short of the 95 % bar at the paper's 30 % point: the interpolated
+    // calibration quantile sat strictly *inside* the 1/300-shot score
+    // band above its own lowest healthy level, so healthy first-round
+    // tests at that level false-failed at ~5× the calibrated rate and
+    // one corrupted syndrome per ~20 trials sent the decoder to the
+    // wrong coupling. Snapping the threshold onto the shot grid
+    // (`itqc_core::threshold::snap_to_shot_grid`) removes those false
+    // fails and lands both knees exactly on the paper values, measured
+    // P(identify) = 0.975 at 4-MS u = 30 % over 120 trials. Reduced to
+    // 30 trials to keep the 32-qubit cells inside the CI budget (the
+    // knee is a plateau crossing, far less trial-sensitive than the
+    // plateau height).
+    for (reps, paper) in [(2, 0.35), (4, 0.30)] {
         let min_u = fig8_min_u95(32, reps, 30).expect("32q knee must exist below 50%");
-        assert!(
-            (lo..=hi).contains(&min_u),
-            "32q {reps}MS knee {min_u:.2} outside {lo:.2}..={hi:.2}"
-        );
+        assert!((min_u - paper).abs() < 1e-9, "32q {reps}MS knee {min_u:.2} vs paper {paper:.2}");
     }
 }
 
