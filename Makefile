@@ -6,7 +6,7 @@ CARGO ?= cargo
 # The 13 evaluation binaries, in paper order (extensions last).
 REPRO_BINS := table1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table2 rb ablations fig_adv
 
-.PHONY: build test bench fleet-bench repro cost-report fmt lint clean
+.PHONY: build test bench fleet-bench repro cost-report chain-bench fmt lint clean
 
 ## build: release build of every workspace member
 build:
@@ -43,6 +43,18 @@ cost-report:
 		if (r < 0.25 || r > 4.0) { print "cost-model ratio " r " outside [0.25, 4.0]"; exit 1 } } \
 		END { if (!found) { print "no cost-report line on stderr"; exit 1 } }' cost-report.err
 	@rm -f cost-report.err
+
+## chain-bench: chain-sampler cost gate — the fig8 N=64 panel runs on
+## 32-qubit chain-sampled components (beyond the joint-table cap); the
+## chain cost terms' predicted/measured ratio must stay in [0.25, 4.0]
+chain-bench:
+	$(CARGO) build --release -p itqc-bench --bin fig8
+	./target/release/fig8 --sizes=64 --cost-report >/dev/null 2>chain-bench.err
+	@cat chain-bench.err
+	@awk '/^cost-report fig8:/ { r = $$NF + 0; found = 1; \
+		if (r < 0.25 || r > 4.0) { print "chain cost-model ratio " r " outside [0.25, 4.0]"; exit 1 } } \
+		END { if (!found) { print "no cost-report line on stderr"; exit 1 } }' chain-bench.err
+	@rm -f chain-bench.err
 
 ## repro: regenerate every paper table/figure (see EXPERIMENTS.md)
 repro: build

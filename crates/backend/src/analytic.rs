@@ -23,13 +23,15 @@
 //! repetition rung reuse one preparation.
 
 use crate::cache::{xx_key, CacheCounters, PrepCache};
+use crate::chain::{self, ChainDist, CHAIN_MAX_SPECIAL};
 use crate::dist::{
     connected_components, sample_strings, sample_strings_blocked, walsh_hadamard, ComponentDist,
+    SampleComponent,
 };
 use crate::{BackendError, PreparedCircuit, SimBackend};
 use itqc_circuit::Circuit;
 use itqc_math::gray;
-use itqc_sim::XxCircuit;
+use itqc_sim::{BitString, XxCircuit};
 use rand::rngs::SmallRng;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -47,7 +49,66 @@ pub const MAX_COMPONENT: usize = 20;
 /// the per-thread table memory at ~48 MiB worst-case.
 pub const COMPONENT_CACHE_CAPACITY: usize = 96;
 
-/// A cache of materialized [`ComponentDist`] tables keyed on the exact
+/// One component's string sampler, selected by size: the joint `2^c`
+/// table at or below [`MAX_COMPONENT`] qubits, the conditional-marginal
+/// chain sampler ([`crate::chain`]) above it. Both run under the
+/// canonical component-ordered sampling scheme of [`crate::dist`] (one
+/// pre-scaled uniform per component per shot, joint tie semantics), so
+/// the dispatch is invisible to seeded shot streams wherever both
+/// engines apply.
+#[derive(Clone, Debug)]
+pub enum ComponentSampler {
+    /// Full `2^c` outcome table (components of ≤ [`MAX_COMPONENT`]
+    /// qubits).
+    Joint(ComponentDist),
+    /// Conditional-marginal chain sampler for oversize near-complete
+    /// components.
+    Chain(ChainDist),
+}
+
+impl ComponentSampler {
+    /// The exact probability of the full-register basis string `global`
+    /// on this component (bits outside the component are ignored).
+    pub fn probability_global(&self, global: BitString) -> f64 {
+        match self {
+            ComponentSampler::Joint(d) => d.probability(d.local_state(global)),
+            ComponentSampler::Chain(d) => d.probability_global(global),
+        }
+    }
+
+    /// Resident bytes of the sampler's probability tables.
+    pub fn table_bytes(&self) -> usize {
+        match self {
+            ComponentSampler::Joint(d) => (1usize << d.qubits().len()) * std::mem::size_of::<f64>(),
+            ComponentSampler::Chain(d) => d.table_bytes(),
+        }
+    }
+}
+
+impl SampleComponent for ComponentSampler {
+    fn qubits(&self) -> &[usize] {
+        match self {
+            ComponentSampler::Joint(d) => d.qubits(),
+            ComponentSampler::Chain(d) => d.qubits(),
+        }
+    }
+
+    fn mass(&self) -> f64 {
+        match self {
+            ComponentSampler::Joint(d) => d.mass(),
+            ComponentSampler::Chain(d) => d.mass(),
+        }
+    }
+
+    fn place(&self, x: f64, string: &mut BitString) {
+        match self {
+            ComponentSampler::Joint(d) => d.place(x, string),
+            ComponentSampler::Chain(d) => d.place(x, string),
+        }
+    }
+}
+
+/// A cache of materialized [`ComponentSampler`] tables keyed on the exact
 /// component sub-circuit ([`xx_key`]: qubits + angle bits) — the
 /// batch-amortisation layer of the backend. Trials that share a coupling
 /// graph produce byte-identical components wherever the noisy-angle
@@ -57,22 +118,22 @@ pub const COMPONENT_CACHE_CAPACITY: usize = 96;
 /// *other* components of the circuit differ.
 ///
 /// The cache is thread-local behind [`component_cache_stats`]: a
-/// [`ComponentDist`] is a pure function of its key, so per-thread tables
-/// can never make results depend on scheduling.
+/// [`ComponentSampler`] is a pure function of its key, so per-thread
+/// tables can never make results depend on scheduling.
 #[derive(Debug, Default)]
 pub struct ComponentDistCache {
-    map: HashMap<Vec<u64>, ComponentDist>,
+    map: HashMap<Vec<u64>, ComponentSampler>,
     counters: CacheCounters,
 }
 
 impl ComponentDistCache {
     /// Returns the cached table for `key`, building and storing it on
     /// first sight.
-    pub fn get_or_build<F: FnOnce() -> ComponentDist>(
+    pub fn get_or_build<F: FnOnce() -> ComponentSampler>(
         &mut self,
         key: Vec<u64>,
         build: F,
-    ) -> ComponentDist {
+    ) -> ComponentSampler {
         if let Some(hit) = self.map.get(&key) {
             self.counters.hits += 1;
             return hit.clone();
@@ -189,8 +250,8 @@ pub struct XxPrepared {
     /// One accumulated sub-circuit per connected component (qubits kept
     /// in global numbering), ascending by first qubit, with each
     /// component's qubit bit-mask alongside.
-    comp_circuits: Vec<(XxCircuit, usize)>,
-    dists: OnceLock<Vec<ComponentDist>>,
+    comp_circuits: Vec<(XxCircuit, BitString)>,
+    dists: OnceLock<Vec<ComponentSampler>>,
 }
 
 impl XxPrepared {
@@ -209,10 +270,7 @@ impl XxPrepared {
             support.iter().enumerate().map(|(k, &q)| (q, k)).collect();
         let edges: Vec<(usize, usize)> = xx.terms().map(|((a, b), _)| (pos[&a], pos[&b])).collect();
         let comps = connected_components(support.len(), &edges);
-        if let Some(big) = comps.iter().find(|c| c.len() > MAX_COMPONENT) {
-            return Err(BackendError::SupportTooLarge { support: big.len(), limit: MAX_COMPONENT });
-        }
-        let comp_circuits = comps
+        let comp_circuits: Vec<(XxCircuit, BitString)> = comps
             .iter()
             .map(|members| {
                 let qubits: Vec<usize> = members.iter().map(|&k| support[k]).collect();
@@ -224,10 +282,25 @@ impl XxPrepared {
                         sub.add_xx(a, b, theta);
                     }
                 }
-                let mask = qubits.iter().fold(0usize, |m, &q| m | (1 << q));
+                let mask = qubits.iter().fold(0 as BitString, |m, &q| m | ((1 as BitString) << q));
                 (sub, mask)
             })
             .collect();
+        // Oversize components must carry chain-sampleable structure;
+        // the cheap O(c²) plan runs here so an unstructured giant
+        // surfaces as a typed refusal at prepare time, never as a 2^c
+        // table attempt (or a panic) at first sampling request.
+        for (sub, mask) in &comp_circuits {
+            if mask.count_ones() as usize > MAX_COMPONENT {
+                if let Err(refusal) = chain::plan(sub) {
+                    return Err(BackendError::ChainUnsupported {
+                        support: refusal.support,
+                        special: refusal.special,
+                        limit: CHAIN_MAX_SPECIAL,
+                    });
+                }
+            }
+        }
         Ok(XxPrepared { xx, support, comp_circuits, dists: OnceLock::new() })
     }
 
@@ -236,13 +309,15 @@ impl XxPrepared {
         &self.xx
     }
 
-    /// The component outcome distributions, materialized on first use
-    /// through the calling thread's [`ComponentDistCache`] so circuits
-    /// sharing a component (same qubits, same exact angles) build its
-    /// `2^c` table once per thread. Cached tables are byte-identical to
+    /// The component samplers, materialized on first use through the
+    /// calling thread's [`ComponentDistCache`] so circuits sharing a
+    /// component (same qubits, same exact angles) build its table once
+    /// per thread. Components of ≤ [`MAX_COMPONENT`] qubits get the
+    /// joint `2^c` table, larger ones the chain sampler (structure
+    /// validated at prepare time). Cached tables are byte-identical to
     /// fresh builds (the key pins the angles bit-for-bit), so the cache
     /// is invisible to every downstream statistic.
-    pub fn distributions(&self) -> &[ComponentDist] {
+    pub fn distributions(&self) -> &[ComponentSampler] {
         self.dists
             .get_or_init(|| COMPONENT_CACHE.with(|cache| self.build_dists(&mut cache.borrow_mut())))
     }
@@ -251,14 +326,24 @@ impl XxPrepared {
     /// of the thread-local one — for callers that manage their own
     /// amortisation scope (tests pinning hit counts, external layers).
     /// A no-op if the tables already exist.
-    pub fn materialize_with(&self, cache: &mut ComponentDistCache) -> &[ComponentDist] {
+    pub fn materialize_with(&self, cache: &mut ComponentDistCache) -> &[ComponentSampler] {
         self.dists.get_or_init(|| self.build_dists(cache))
     }
 
-    fn build_dists(&self, cache: &mut ComponentDistCache) -> Vec<ComponentDist> {
+    fn build_dists(&self, cache: &mut ComponentDistCache) -> Vec<ComponentSampler> {
         self.comp_circuits
             .iter()
-            .map(|(sub, _)| cache.get_or_build(xx_key(sub), || component_distribution(sub)))
+            .map(|(sub, mask)| {
+                cache.get_or_build(xx_key(sub), || {
+                    if mask.count_ones() as usize <= MAX_COMPONENT {
+                        ComponentSampler::Joint(component_distribution(sub))
+                    } else {
+                        let dist = ChainDist::build(sub)
+                            .expect("oversize component structure validated at prepare time");
+                        ComponentSampler::Chain(dist)
+                    }
+                })
+            })
             .collect()
     }
 
@@ -268,14 +353,25 @@ impl XxPrepared {
     }
 
     /// Resident-size estimate of the fully materialized preparation:
-    /// the `2^c` f64 CDF table per component (the Walsh–Hadamard
-    /// output distributions — the expensive, shareable part) plus the
-    /// accumulated gate list. Used by byte-budgeted cache layers.
+    /// per component the `2^c` f64 CDF table (joint) or the layered
+    /// `(z_T, k)` prefix tables (chain, `Σ_τ 2^{t−τ}·(n+1)` entries) —
+    /// the expensive, shareable part — plus the accumulated gate list.
+    /// Used by byte-budgeted cache layers.
     pub fn table_bytes(&self) -> usize {
         let tables: usize = self
             .comp_circuits
             .iter()
-            .map(|(_, mask)| (1usize << mask.count_ones()) * std::mem::size_of::<f64>())
+            .map(|(sub, mask)| {
+                let c = mask.count_ones() as usize;
+                if c <= MAX_COMPONENT {
+                    (1usize << c) * std::mem::size_of::<f64>()
+                } else {
+                    let plan =
+                        chain::plan(sub).expect("oversize structure validated at prepare time");
+                    let t = plan.special.len();
+                    ((1usize << (t + 1)) - 1) * (c - t + 1) * std::mem::size_of::<f64>()
+                }
+            })
             .sum();
         tables + self.xx.terms().count() * 3 * std::mem::size_of::<u64>()
     }
@@ -340,34 +436,42 @@ impl PreparedCircuit for XxPrepared {
         &self.support
     }
 
-    fn probability(&self, target: usize) -> f64 {
+    fn probability(&self, target: BitString) -> f64 {
         // Off-support bits must stay |0⟩.
-        let mut mask = 0usize;
+        let mut mask: BitString = 0;
         for &q in &self.support {
-            mask |= 1 << q;
+            mask |= (1 as BitString) << q;
         }
         if target & !mask != 0 {
             return 0.0;
         }
-        // Product of per-component probabilities — each an exact 2^c
-        // Gray sum (or a table lookup once sampling materialized them).
+        // Product of per-component probabilities — each an exact table
+        // lookup once sampling materialized the samplers.
         if let Some(dists) = self.dists.get() {
-            return dists.iter().map(|d| d.probability(d.local_state(target))).product();
+            return dists.iter().map(|d| d.probability_global(target)).product();
         }
-        // Each component only sees its own bits of the target; bits of
-        // other components would (wrongly) zero its amplitude.
-        self.comp_circuits.iter().map(|(sub, m)| sub.fidelity(target & m)).product()
+        if self.comp_circuits.iter().all(|(_, m)| m.count_ones() as usize <= MAX_COMPONENT) {
+            // Small components: one exact 2^c Gray sum each, cheaper
+            // than materializing tables for a single target. Each
+            // component only sees its own bits of the target; bits of
+            // other components would (wrongly) zero its amplitude.
+            return self.comp_circuits.iter().map(|(sub, m)| sub.fidelity(target & m)).product();
+        }
+        // An oversize component makes the Gray sum intractable; the
+        // chain sampler's (z_T, k) table answers any target in O(c),
+        // so materialize through the thread cache and look up.
+        self.distributions().iter().map(|d| d.probability_global(target)).product()
     }
 
     fn marginal_one(&self, q: usize) -> f64 {
         self.xx.marginal_one(q)
     }
 
-    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
         sample_strings(self.distributions(), rng, shots)
     }
 
-    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
         sample_strings_blocked(self.distributions(), rng, shots)
     }
 }
@@ -391,6 +495,13 @@ mod tests {
         xx
     }
 
+    fn joint(d: &ComponentSampler) -> &ComponentDist {
+        match d {
+            ComponentSampler::Joint(j) => j,
+            ComponentSampler::Chain(_) => panic!("expected a joint table"),
+        }
+    }
+
     #[test]
     fn component_distribution_matches_gray_sum_fidelities() {
         let mut rng = SmallRng::seed_from_u64(11);
@@ -398,14 +509,14 @@ mod tests {
             let xx = random_xx(&mut rng, 7, 9);
             let prep = XxPrepared::build(xx.clone()).unwrap();
             for _ in 0..12 {
-                let target = rng.gen_range(0..(1usize << 7));
+                let target = rng.gen_range(0..(1usize << 7)) as BitString;
                 let direct = xx.fidelity(target);
                 let via_prep = prep.probability(target);
                 assert!((direct - via_prep).abs() < 1e-10, "target {target:07b}");
             }
             // Materialize the tables and re-check through them.
             let _ = prep.distributions();
-            for target in [0usize, 0b1010101, 0b0110011] {
+            for target in [0 as BitString, 0b1010101, 0b0110011] {
                 assert!((xx.fidelity(target) - prep.probability(target)).abs() < 1e-10);
             }
         }
@@ -422,6 +533,7 @@ mod tests {
         assert_eq!(dists[0].qubits(), &[0, 2]);
         assert_eq!(dists[1].qubits(), &[3, 5]);
         for d in dists {
+            let d = joint(d);
             assert!((d.probability(0) - 0.5).abs() < 1e-12);
             assert!((d.probability(0b11) - 0.5).abs() < 1e-12);
             assert!(d.probability(0b01) < 1e-12);
@@ -491,6 +603,7 @@ mod tests {
         let mut empty = ComponentDistCache::default();
         let dists_fresh = prep_fresh.materialize_with(&mut empty);
         for (cached, built) in [(&dists_b[0], &dists_fresh[0]), (&dists_a[1], &dists_fresh[1])] {
+            let (cached, built) = (joint(cached), joint(built));
             assert_eq!(cached.qubits(), built.qubits());
             for local in 0..(1usize << cached.qubits().len()) {
                 assert_eq!(
@@ -524,18 +637,47 @@ mod tests {
     }
 
     #[test]
-    fn oversized_component_is_rejected() {
+    fn oversized_component_without_structure_is_rejected_typed() {
+        // A star has no complete-graph bulk: every present edge deviates
+        // from the modal (absent-pair) angle, so all qubits are special
+        // and the chain sampler must refuse — with a typed error at
+        // prepare time, not a 2^22 table attempt downstream.
         let mut xx = XxCircuit::new(MAX_COMPONENT + 2);
         for q in 1..MAX_COMPONENT + 2 {
             xx.add_xx(0, q, 0.1); // a star: one (MAX_COMPONENT+2)-qubit component
         }
         match XxPrepared::build(xx) {
-            Err(BackendError::SupportTooLarge { support, limit }) => {
+            Err(BackendError::ChainUnsupported { support, special, limit }) => {
                 assert_eq!(support, MAX_COMPONENT + 2);
-                assert_eq!(limit, MAX_COMPONENT);
+                assert_eq!(special, MAX_COMPONENT + 2);
+                assert_eq!(limit, CHAIN_MAX_SPECIAL);
             }
-            other => panic!("expected SupportTooLarge, got {other:?}"),
+            other => panic!("expected ChainUnsupported, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_complete_component_now_prepares_and_samples() {
+        // The old hard cap: a 24-qubit complete class was
+        // SupportTooLarge. The chain path accepts it (t = 0) and
+        // samples full strings; its marginals must track closed form.
+        let mut xx = XxCircuit::new(24);
+        for a in 0..24usize {
+            for b in (a + 1)..24 {
+                xx.add_xx(a, b, 2.0 * FRAC_PI_2 * 0.96);
+            }
+        }
+        let prep = XxPrepared::build(xx).unwrap();
+        let dists = prep.distributions();
+        assert_eq!(dists.len(), 1);
+        assert!(matches!(dists[0], ComponentSampler::Chain(_)));
+        let p_one = prep.marginal_one(0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let shots = 4000usize;
+        let strings = PreparedCircuit::sample(&prep, &mut rng, shots);
+        let sampled = strings.iter().filter(|&&s| s & 1 == 1).count() as f64 / shots as f64;
+        let sigma = (p_one * (1.0 - p_one) / shots as f64).sqrt().max(1e-4);
+        assert!((sampled - p_one).abs() < 5.0 * sigma, "sampled {sampled} vs closed-form {p_one}");
     }
 
     #[test]

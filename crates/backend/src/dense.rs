@@ -13,6 +13,7 @@ use crate::dist::{connected_components, sample_strings, sample_strings_blocked, 
 use crate::{BackendError, PreparedCircuit, SimBackend};
 use itqc_circuit::{Circuit, Op};
 use itqc_sim::statevector::MAX_QUBITS;
+use itqc_sim::BitString;
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -113,14 +114,14 @@ impl DensePrepared {
 
     /// Maps a full-register basis string onto the support-local index,
     /// or `None` if an off-support bit is set (probability 0).
-    fn local_index(&self, target: usize) -> Option<usize> {
+    fn local_index(&self, target: BitString) -> Option<usize> {
         let mut idx = 0usize;
-        let mut seen = 0usize;
+        let mut seen: BitString = 0;
         for (k, &q) in self.support.iter().enumerate() {
             if (target >> q) & 1 == 1 {
                 idx |= 1 << k;
             }
-            seen |= 1 << q;
+            seen |= (1 as BitString) << q;
         }
         if target & !seen != 0 {
             None
@@ -139,7 +140,7 @@ impl PreparedCircuit for DensePrepared {
         &self.support
     }
 
-    fn probability(&self, target: usize) -> f64 {
+    fn probability(&self, target: BitString) -> f64 {
         match self.local_index(target) {
             Some(idx) => self.probs[idx],
             None => 0.0,
@@ -158,11 +159,11 @@ impl PreparedCircuit for DensePrepared {
             .sum()
     }
 
-    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
         sample_strings(&self.components, rng, shots)
     }
 
-    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
         sample_strings_blocked(&self.components, rng, shots)
     }
 }
@@ -229,7 +230,7 @@ mod tests {
         let prep = DensePrepared::build(&c).unwrap();
         // Product of component probabilities equals the joint for any
         // target (components are unentangled).
-        for target in 0..(1usize << n) {
+        for target in 0..(1 << n) as BitString {
             let joint = prep.probability(target);
             let product: f64 =
                 prep.components.iter().map(|d| d.probability(d.local_state(target))).product();

@@ -21,8 +21,32 @@
 //! at the equivalence suite's fixed seeds this is deterministic-safe,
 //! and for the CI fig8 stdout diff the per-run odds are ~1e-8.)
 
+use itqc_sim::BitString;
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// A per-component string sampler the canonical samplers can drive: the
+/// joint-table [`ComponentDist`] below [`crate::MAX_COMPONENT`], the
+/// conditional-marginal chain sampler above it. The contract that keeps
+/// every implementation bit-compatible with the canonical scheme: one
+/// pre-scaled uniform `x ∈ [0, mass)` resolves one whole component
+/// outcome, and `place` must replicate the joint sampler's tie semantics
+/// (`cdf.partition_point(|&c| c <= x)` — boundaries themselves round
+/// *up* to the next state).
+pub trait SampleComponent {
+    /// The component's qubits, ascending.
+    fn qubits(&self) -> &[usize];
+
+    /// Total probability mass (~1 up to rounding noise); uniforms are
+    /// scaled by this before [`place`](SampleComponent::place) so ±1e-15
+    /// normalization noise cannot push the top of the CDF below a drawn
+    /// `u ≈ 1`.
+    fn mass(&self) -> f64;
+
+    /// Resolves a pre-scaled uniform into one component outcome and ORs
+    /// its bits into `string`.
+    fn place(&self, x: f64, string: &mut BitString);
+}
 
 /// The outcome distribution of one connected component of a circuit's
 /// qubit-interaction graph, stored as a cumulative sum for sampling.
@@ -69,7 +93,7 @@ impl ComponentDist {
 
     /// Extracts this component's local state index from a full-register
     /// basis string.
-    pub fn local_state(&self, global: usize) -> usize {
+    pub fn local_state(&self, global: BitString) -> usize {
         let mut local = 0usize;
         for (k, &q) in self.qubits.iter().enumerate() {
             if (global >> q) & 1 == 1 {
@@ -81,14 +105,26 @@ impl ComponentDist {
 
     /// Draws one component outcome and ORs its bits into `string`,
     /// consuming exactly one uniform variate.
-    pub fn sample_into(&self, rng: &mut SmallRng, string: &mut usize) {
-        // Scale by the actual total so ±1e-15 normalization noise cannot
-        // push the final CDF entry below a drawn u ≈ 1.
-        let x = rng.gen::<f64>() * *self.cdf.last().expect("non-empty distribution");
+    pub fn sample_into(&self, rng: &mut SmallRng, string: &mut BitString) {
+        let x = rng.gen::<f64>() * self.mass();
+        self.place(x, string);
+    }
+}
+
+impl SampleComponent for ComponentDist {
+    fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    fn mass(&self) -> f64 {
+        *self.cdf.last().expect("non-empty distribution")
+    }
+
+    fn place(&self, x: f64, string: &mut BitString) {
         let idx = self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1);
         for (k, &q) in self.qubits.iter().enumerate() {
             if (idx >> k) & 1 == 1 {
-                *string |= 1 << q;
+                *string |= (1 as BitString) << q;
             }
         }
     }
@@ -97,12 +133,17 @@ impl ComponentDist {
 /// Samples `shots` full-register output strings from the canonical
 /// component-ordered scheme. `dists` must be sorted ascending by first
 /// qubit (prepare methods guarantee this); untouched qubits read 0.
-pub fn sample_strings(dists: &[ComponentDist], rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+pub fn sample_strings<S: SampleComponent>(
+    dists: &[S],
+    rng: &mut SmallRng,
+    shots: usize,
+) -> Vec<BitString> {
     let mut out = Vec::with_capacity(shots);
     for _ in 0..shots {
-        let mut s = 0usize;
+        let mut s: BitString = 0;
         for d in dists {
-            d.sample_into(rng, &mut s);
+            let x = rng.gen::<f64>() * d.mass();
+            d.place(x, &mut s);
         }
         out.push(s);
     }
@@ -125,26 +166,26 @@ pub const SAMPLE_BLOCK_SHOTS: usize = 4096;
 /// scaled and resolved against the same CDF entries — only the *memory
 /// access order* of the resolution changes. The equivalence suite pins
 /// this, including across block boundaries.
-pub fn sample_strings_blocked(
-    dists: &[ComponentDist],
+pub fn sample_strings_blocked<S: SampleComponent>(
+    dists: &[S],
     rng: &mut SmallRng,
     shots: usize,
-) -> Vec<usize> {
+) -> Vec<BitString> {
     sample_strings_blocked_with(dists, rng, shots, SAMPLE_BLOCK_SHOTS)
 }
 
 /// [`sample_strings_blocked`] with an explicit block size (exposed so
 /// the equivalence suite can pin block-boundary invariance; `block = 1`
 /// degenerates to the per-shot path's access pattern).
-pub fn sample_strings_blocked_with(
-    dists: &[ComponentDist],
+pub fn sample_strings_blocked_with<S: SampleComponent>(
+    dists: &[S],
     rng: &mut SmallRng,
     shots: usize,
     block: usize,
-) -> Vec<usize> {
+) -> Vec<BitString> {
     assert!(block >= 1, "block size must be positive");
     let ncomp = dists.len();
-    let mut out = vec![0usize; shots];
+    let mut out = vec![0 as BitString; shots];
     if ncomp == 0 {
         return out;
     }
@@ -158,24 +199,15 @@ pub fn sample_strings_blocked_with(
         uniforms.clear();
         for _ in 0..chunk {
             for d in dists {
-                let last = *d.cdf.last().expect("non-empty distribution");
-                uniforms.push(rng.gen::<f64>() * last);
+                uniforms.push(rng.gen::<f64>() * d.mass());
             }
         }
         // Resolve component by component: each pass walks one flat CDF
-        // for the whole block.
+        // (or one chain descent structure) for the whole block.
         for (ci, d) in dists.iter().enumerate() {
-            let top = d.cdf.len() - 1;
             for s in 0..chunk {
                 let x = uniforms[s * ncomp + ci];
-                let idx = d.cdf.partition_point(|&c| c <= x).min(top);
-                let mut bits = 0usize;
-                for (k, &q) in d.qubits.iter().enumerate() {
-                    if (idx >> k) & 1 == 1 {
-                        bits |= 1 << q;
-                    }
-                }
-                out[start + s] |= bits;
+                d.place(x, &mut out[start + s]);
             }
         }
         start += chunk;

@@ -30,19 +30,22 @@
 
 pub mod analytic;
 pub mod cache;
+pub mod chain;
 pub mod cost;
 pub mod dense;
 pub mod dist;
 pub mod memo;
 
 pub use analytic::{
-    component_cache_stats, ComponentDistCache, XxAnalyticBackend, XxPrepared,
+    component_cache_stats, ComponentDistCache, ComponentSampler, XxAnalyticBackend, XxPrepared,
     COMPONENT_CACHE_CAPACITY, MAX_COMPONENT,
 };
 pub use cache::CacheCounters;
+pub use chain::{ChainDist, CHAIN_MAX_SPECIAL};
 pub use cost::{CostReport, SimCostModel};
 pub use dense::DenseBackend;
-pub use dist::{sample_strings_blocked, SAMPLE_BLOCK_SHOTS};
+pub use dist::{sample_strings_blocked, SampleComponent, SAMPLE_BLOCK_SHOTS};
+pub use itqc_sim::BitString;
 
 use itqc_circuit::Circuit;
 use rand::rngs::SmallRng;
@@ -63,6 +66,17 @@ pub enum BackendError {
         /// The backend's limit.
         limit: usize,
     },
+    /// A component is too large for the joint table *and* lacks the
+    /// near-complete structure the chain sampler needs: too many qubits
+    /// touch pairs deviating from the component's modal coupling angle.
+    ChainUnsupported {
+        /// Offending component size in qubits.
+        support: usize,
+        /// Special (deviant-pair) qubits the component would need.
+        special: usize,
+        /// The chain sampler's special-set limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -73,6 +87,13 @@ impl fmt::Display for BackendError {
             }
             BackendError::SupportTooLarge { support, limit } => {
                 write!(f, "{support}-qubit support exceeds the backend limit of {limit}")
+            }
+            BackendError::ChainUnsupported { support, special, limit } => {
+                write!(
+                    f,
+                    "{support}-qubit component needs {special} special qubits for chain \
+                     sampling (limit {limit}); no joint table above {MAX_COMPONENT} qubits"
+                )
             }
         }
     }
@@ -92,14 +113,14 @@ pub trait PreparedCircuit: fmt::Debug {
     fn support(&self) -> &[usize];
 
     /// The exact outcome probability `|⟨target|U|0…0⟩|²`.
-    fn probability(&self, target: usize) -> f64;
+    fn probability(&self, target: BitString) -> f64;
 
     /// The exact probability that qubit `q` measures `|1⟩`.
     fn marginal_one(&self, q: usize) -> f64;
 
     /// The probability that qubit `q` reads the corresponding bit of
     /// `target`.
-    fn qubit_agreement(&self, q: usize, target: usize) -> f64 {
+    fn qubit_agreement(&self, q: usize, target: BitString) -> f64 {
         let p1 = self.marginal_one(q);
         if (target >> q) & 1 == 1 {
             p1
@@ -111,14 +132,14 @@ pub trait PreparedCircuit: fmt::Debug {
     /// The worst per-qubit agreement with `target` over the support —
     /// the population statistic of the scaling experiments. 1 for an
     /// empty circuit.
-    fn min_qubit_agreement(&self, target: usize) -> f64 {
+    fn min_qubit_agreement(&self, target: BitString) -> f64 {
         self.support().iter().map(|&q| self.qubit_agreement(q, target)).fold(1.0, f64::min)
     }
 
     /// Draws `shots` full output strings via the canonical
     /// component-ordered sampler (one uniform variate per component per
     /// shot; untouched qubits read 0).
-    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize>;
+    fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString>;
 
     /// Blocked variant of [`sample`](PreparedCircuit::sample): draws
     /// whole shot blocks against flat cumulative tables where the
@@ -126,7 +147,7 @@ pub trait PreparedCircuit: fmt::Debug {
     /// RNG state — implementations must consume the uniform stream in
     /// the canonical shot-major order, so callers may switch freely.
     /// The default delegates to the per-shot path.
-    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<usize> {
+    fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
         self.sample(rng, shots)
     }
 }
@@ -317,7 +338,7 @@ mod tests {
         let dense = Backend::new(BackendChoice::Dense).prepare(&c).unwrap();
         let analytic = Backend::new(BackendChoice::Analytic).prepare(&c).unwrap();
         assert_eq!(dense.support(), analytic.support());
-        for target in 0..(1usize << 5) {
+        for target in 0..(1 << 5) as BitString {
             assert!(
                 (dense.probability(target) - analytic.probability(target)).abs() < 1e-9,
                 "target {target:05b}"

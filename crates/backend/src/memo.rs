@@ -40,7 +40,7 @@ pub enum ScoreKind {
 }
 
 /// Memo key: the exact circuit key, the target string, the statistic.
-type ScoreMemoKey = (Vec<u64>, usize, ScoreKind);
+type ScoreMemoKey = (Vec<u64>, itqc_sim::BitString, ScoreKind);
 
 thread_local! {
     static SCORE_MEMO: RefCell<HashMap<ScoreMemoKey, f64>> = RefCell::new(HashMap::new());
@@ -53,7 +53,7 @@ thread_local! {
 /// only sound because the key determines the score bit-for-bit.
 pub fn cached_score<F: FnOnce() -> f64>(
     circuit_key: Vec<u64>,
-    target: usize,
+    target: itqc_sim::BitString,
     kind: ScoreKind,
     compute: F,
 ) -> f64 {

@@ -25,12 +25,13 @@
 //! point-verification fallback extensions) on the 8-qubit cells.
 
 use itqc_bench::output::{pct, section, Table};
-use itqc_bench::{table2_identification_rate, Args};
+use itqc_bench::{table2_identification_rate, table2_identification_rate_backed, Args};
 use itqc_core::DecoderPolicy;
 
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse(300);
+    let xl = std::env::args().skip(1).any(|a| a == "--xl");
     let decoder = args.decoder();
     section(&format!("Table II: P(identify) for k same-magnitude faults ({decoder} decoder)"));
 
@@ -75,6 +76,32 @@ fn main() {
         t2.row(cells);
     }
     println!("{}", t2.render());
+
+    if xl {
+        // Beyond-paper scale: N = 64 makes every first-round class a
+        // 32-qubit complete component, past the joint-table cap — the
+        // exact scores route through the backend seam so the chain
+        // sampler's polynomial (z_T, k) tables answer each target.
+        section("table2_xl: beyond-paper N = 64 row (backend-routed exact scores)");
+        let mut txl = Table::new(["qubits", "1 fault", "2 faults", "3 faults"]);
+        let mut cells = vec!["64".to_string()];
+        for k in 1..=3usize {
+            let trials = if k == 3 { args.trials / 4 } else { args.trials / 2 };
+            let p = table2_identification_rate_backed(
+                64,
+                k,
+                trials.max(2),
+                args.threads,
+                decoder,
+                args.backend,
+                args.seed_for(&format!("t2xl/64/{k}")),
+            );
+            cells.push(pct(p));
+        }
+        txl.row(cells);
+        println!("{}", txl.render());
+    }
+
     println!(
         "expected shape: single faults are always identified; multi-fault\n\
          identification decays with fault count and machine size (syndrome\n\

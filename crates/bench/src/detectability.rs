@@ -38,6 +38,28 @@ use std::collections::BTreeSet;
 /// paper's "10% random amplitude errors").
 pub const FIG8_AMBIENT: f64 = 0.10;
 
+/// The ambient bound actually applied at machine size `n`: the paper's
+/// [`FIG8_AMBIENT`] up to 32 qubits, scaled by `1/√(n/2 − 1)`-normalised
+/// degree above [`crate::ambient::COMMON_MODE_MIN_QUBITS`]. Beyond the
+/// paper's sizes the ambient model is *common-mode* (one master-
+/// amplitude drift shared by all couplings — see
+/// [`crate::ambient::ambient_executor_uniform`]): per-coupling scatter
+/// random-walks across a qubit's `d = n/2 − 1` partners (phase error
+/// `∝ σ·√d`), while a common-mode drift compounds linearly (`∝ u·d`),
+/// so an equal-bound common-mode model at degree 31–63 saturates every
+/// healthy score and the sweep measures nothing. Scaling the bound to
+/// `FIG8_AMBIENT·√(d₃₂)/d` matches the per-qubit phase-noise magnitude
+/// of the paper's 32-qubit operating point, keeping the knees
+/// comparable across the whole 8→128 sweep.
+pub fn fig8_ambient_bound(n_qubits: usize) -> f64 {
+    if n_qubits <= crate::ambient::COMMON_MODE_MIN_QUBITS {
+        return FIG8_AMBIENT;
+    }
+    let degree = (n_qubits / 2 - 1) as f64;
+    let paper_degree = 15.0f64; // 32-qubit panel: 16-qubit components
+    FIG8_AMBIENT * paper_degree.sqrt() / degree
+}
+
 /// Shots per test circuit (the paper's hardware budget).
 pub const FIG8_SHOTS: usize = 300;
 
@@ -117,7 +139,7 @@ pub fn fig8_threshold(
         threads,
         n_qubits,
         reps,
-        FIG8_AMBIENT,
+        fig8_ambient_bound(n_qubits),
         FIG8_SCORE,
         FIG8_SHOTS,
         FIG8_QUANTILE,
@@ -167,7 +189,13 @@ pub fn fig8_curve(
             let target = random_couplings(n_qubits, 1, rng)[0];
             // One ambient draw per trial, shared by the whole sweep; the
             // planted magnitude overlays it below (common random numbers).
-            let ambient = ambient_executor_uniform_with(n_qubits, FIG8_AMBIENT, &[], backend, rng);
+            let ambient = ambient_executor_uniform_with(
+                n_qubits,
+                fig8_ambient_bound(n_qubits),
+                &[],
+                backend,
+                rng,
+            );
             let shot_master: u64 = rng.gen();
             sweep
                 .iter()

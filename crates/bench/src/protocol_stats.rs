@@ -8,6 +8,7 @@
 
 use crate::ambient::random_couplings;
 use crate::{par_trials, split_seed};
+use itqc_backend::BackendChoice;
 use itqc_core::testplan::ScoreMode;
 use itqc_core::{diagnose_all, DecoderPolicy, ExactExecutor, MultiFaultConfig};
 
@@ -55,6 +56,35 @@ pub fn table2_identification_rate(
     identification_rate_with(n, k, trials, threads, &table2_config(k, decoder), false, seed)
 }
 
+/// [`table2_identification_rate`] with every exact score routed through
+/// a simulation backend — the beyond-paper (`table2_xl`) path. The
+/// inline oracle evaluates `ExactTarget` by a `2^c` Gray sum per
+/// component, fine up to the paper's 16-qubit components but
+/// intractable at the 32-qubit components of an `N = 64` machine; a
+/// backend preparation answers the same target from the chain sampler's
+/// polynomial `(z_T, k)` table instead. Same trial structure, faults
+/// and seed streams as the inline path — thread-invariant.
+pub fn table2_identification_rate_backed(
+    n: usize,
+    k: usize,
+    trials: usize,
+    threads: usize,
+    decoder: DecoderPolicy,
+    backend: BackendChoice,
+    seed: u64,
+) -> f64 {
+    identification_rate_inner(
+        n,
+        k,
+        trials,
+        threads,
+        &table2_config(k, decoder),
+        false,
+        Some(backend),
+        seed,
+    )
+}
+
 /// [`table2_identification_rate`] with an explicit pipeline
 /// configuration and optional 300-shot binomial sampling on every test
 /// score — the knobs the evidence-fusion regression and property tests
@@ -69,6 +99,20 @@ pub fn identification_rate_with(
     shot_sampled: bool,
     seed: u64,
 ) -> f64 {
+    identification_rate_inner(n, k, trials, threads, config, shot_sampled, None, seed)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn identification_rate_inner(
+    n: usize,
+    k: usize,
+    trials: usize,
+    threads: usize,
+    config: &MultiFaultConfig,
+    shot_sampled: bool,
+    backend: Option<BackendChoice>,
+    seed: u64,
+) -> f64 {
     use rand::Rng;
     let outcomes = par_trials(
         threads,
@@ -76,8 +120,11 @@ pub fn identification_rate_with(
         |t| split_seed(seed, t),
         |_, rng| {
             let faults = random_couplings(n, k, rng);
-            let exec =
+            let mut exec =
                 ExactExecutor::new(n).with_faults(faults.iter().map(|&c| (c, TABLE2_FAULT_U)));
+            if let Some(choice) = backend {
+                exec = exec.with_backend(choice);
+            }
             let mut truth = faults.clone();
             truth.sort();
             if shot_sampled {

@@ -11,7 +11,7 @@
 //! angle before measurement.
 
 use itqc_circuit::{Circuit, Coupling};
-use itqc_sim::XxCircuit;
+use itqc_sim::{BitString, XxCircuit};
 use std::collections::BTreeMap;
 use std::f64::consts::FRAC_PI_2;
 use std::fmt;
@@ -44,7 +44,7 @@ pub struct TestSpec {
     /// MS gates in program order: `(coupling, θ)`.
     pub gates: Vec<(Coupling, f64)>,
     /// The expected output basis string for a fault-free machine.
-    pub target: usize,
+    pub target: BitString,
     /// Gate repetitions per coupling.
     pub reps: usize,
     /// Pass/fail statistic.
@@ -163,7 +163,7 @@ pub fn cancellation_breaker(
     n_qubits: usize,
     suspect: Coupling,
     partner: usize,
-) -> (Circuit, usize) {
+) -> (Circuit, BitString) {
     let (a, b) = suspect.endpoints();
     assert!(partner < n_qubits && a < n_qubits && b < n_qubits, "qubit out of range");
     assert!(partner != a && partner != b, "partner must be a third qubit");
@@ -174,13 +174,13 @@ pub fn cancellation_breaker(
     // Ideal evolution: XX(π/2) entangles (a,b); the SWAP moves b's half of
     // the pair onto `partner`; the second XX(π/2) completes XX(π) on the
     // moved pair → both flip. Qubit b ends holding partner's |0⟩.
-    let target = (1usize << a) | (1usize << partner);
+    let target = ((1 as BitString) << a) | ((1 as BitString) << partner);
     (c, target)
 }
 
 /// The ideal output string of a repetition test: qubit `q` reads
 /// `(r/2)·deg(q) mod 2`.
-pub fn expected_output(couplings: &[Coupling], reps: usize) -> usize {
+pub fn expected_output(couplings: &[Coupling], reps: usize) -> BitString {
     assert!(reps.is_multiple_of(2), "odd repetition counts leave entangled outputs");
     let mut degree: BTreeMap<usize, usize> = BTreeMap::new();
     for c in couplings {
@@ -188,10 +188,10 @@ pub fn expected_output(couplings: &[Coupling], reps: usize) -> usize {
         *degree.entry(c.hi()).or_insert(0) += 1;
     }
     let half = reps / 2;
-    let mut target = 0usize;
+    let mut target: BitString = 0;
     for (&q, &d) in &degree {
         if (half * d) % 2 == 1 {
-            target |= 1 << q;
+            target |= (1 as BitString) << q;
         }
     }
     target
@@ -296,7 +296,7 @@ mod tests {
             for cs in &sets {
                 let spec = TestSpec::for_couplings("t", cs, reps);
                 let state = run(&spec.as_circuit(5));
-                let p = state.probability(spec.target);
+                let p = state.probability(spec.target as usize);
                 assert!((p - 1.0).abs() < 1e-9, "set {cs:?} reps {reps}: P(target) = {p}");
             }
         }
@@ -349,7 +349,7 @@ mod tests {
     fn cancellation_breaker_ideal_target() {
         let (circuit, target) = cancellation_breaker(8, Coupling::new(2, 6), 5);
         assert_eq!(target, (1 << 2) | (1 << 5));
-        let p = run(&circuit).probability(target);
+        let p = run(&circuit).probability(target as usize);
         assert!((p - 1.0).abs() < 1e-10, "ideal circuit must hit its target, p={p}");
     }
 
@@ -431,12 +431,12 @@ mod tests {
         // Plain repetition test: passes despite the fault.
         let spec = TestSpec::for_couplings("rep", &[faulty], 2);
         let plain = inject(&spec.as_circuit(8));
-        let p_plain = run(&plain).probability(spec.target);
+        let p_plain = run(&plain).probability(spec.target as usize);
         assert!((p_plain - 1.0).abs() < 1e-10, "sign fault self-cancels: p={p_plain}");
         // Swap-insertion test: fails loudly.
         let (breaker, target) = cancellation_breaker(8, faulty, 5);
         let noisy = inject(&breaker);
-        let p_breaker = run(&noisy).probability(target);
+        let p_breaker = run(&noisy).probability(target as usize);
         assert!(p_breaker < 0.1, "swap insertion must expose the fault: p={p_breaker}");
     }
 }

@@ -52,8 +52,9 @@ impl SpamModel {
     /// The probability that the true string `target` is read out
     /// *unchanged* (the dominant attenuation factor for single-output
     /// tests).
-    pub fn retention(&self, target: usize, n_qubits: usize) -> f64 {
-        let ones = (target & ((1usize << n_qubits) - 1)).count_ones() as i32;
+    pub fn retention(&self, target: u128, n_qubits: usize) -> f64 {
+        let mask: u128 = if n_qubits >= 128 { u128::MAX } else { (1u128 << n_qubits) - 1 };
+        let ones = (target & mask).count_ones() as i32;
         let zeros = n_qubits as i32 - ones;
         (1.0 - self.p01).powi(zeros) * (1.0 - self.p10).powi(ones)
     }

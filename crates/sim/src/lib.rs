@@ -16,6 +16,14 @@
 
 #![warn(missing_docs)]
 
+/// A measurement outcome (or target) bitstring, bit `q` = qubit `q`.
+///
+/// 128 bits so the beyond-paper 64/128-qubit sweeps (ROADMAP item 2)
+/// can address qubit labels past 63; dense *local* state indices stay
+/// `usize` (they are table offsets bounded by `2^support`, not qubit
+/// labels).
+pub type BitString = u128;
+
 pub mod shots;
 pub mod statevector;
 pub mod trajectory;

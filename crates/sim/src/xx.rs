@@ -21,6 +21,7 @@
 //! experiments with zero model error. Cross-validated against the dense
 //! state vector in tests.
 
+use crate::BitString;
 use itqc_circuit::{Circuit, Gate};
 use itqc_math::{Complex64, GrayFlips};
 use std::collections::BTreeMap;
@@ -109,9 +110,9 @@ impl XxCircuit {
     ///
     /// Panics if `target` addresses bits beyond the register, or if the
     /// support exceeds [`MAX_SUPPORT`].
-    pub fn amplitude(&self, target: usize) -> Complex64 {
+    pub fn amplitude(&self, target: BitString) -> Complex64 {
         assert!(
-            self.n_qubits >= usize::BITS as usize || target < (1usize << self.n_qubits),
+            self.n_qubits >= BitString::BITS as usize || target < (1 as BitString) << self.n_qubits,
             "target bitstring out of range"
         );
         let support = self.support();
@@ -120,9 +121,9 @@ impl XxCircuit {
 
         // Untouched qubits stay |0⟩: amplitude vanishes unless their target
         // bits are 0.
-        let mut support_mask = 0usize;
+        let mut support_mask: BitString = 0;
         for &q in &support {
-            support_mask |= 1usize << q;
+            support_mask |= (1 as BitString) << q;
         }
         if target & !support_mask != 0 {
             return Complex64::ZERO;
@@ -174,7 +175,7 @@ impl XxCircuit {
 
     /// The exact outcome probability `|⟨target|U|0…0⟩|²` — the paper's
     /// single-output-test fidelity when `target` is the expected string.
-    pub fn fidelity(&self, target: usize) -> f64 {
+    pub fn fidelity(&self, target: BitString) -> f64 {
         self.amplitude(target).norm_sqr()
     }
 
@@ -197,7 +198,7 @@ impl XxCircuit {
 
     /// The probability that qubit `q` reads the corresponding bit of
     /// `target`.
-    pub fn qubit_agreement(&self, q: usize, target: usize) -> f64 {
+    pub fn qubit_agreement(&self, q: usize, target: BitString) -> f64 {
         let p1 = self.marginal_one(q);
         if (target >> q) & 1 == 1 {
             p1
@@ -213,7 +214,7 @@ impl XxCircuit {
     /// hardware-style tests threshold qubit populations instead).
     ///
     /// Returns 1 for an empty circuit.
-    pub fn min_qubit_agreement(&self, target: usize) -> f64 {
+    pub fn min_qubit_agreement(&self, target: BitString) -> f64 {
         self.support().into_iter().map(|q| self.qubit_agreement(q, target)).fold(1.0, f64::min)
     }
 }
@@ -287,7 +288,7 @@ mod tests {
             let xx = XxCircuit::from_circuit(&c).expect("pure XX circuit");
             for _ in 0..4 {
                 let target = rng.gen_range(0..(1usize << n));
-                let exact = xx.fidelity(target);
+                let exact = xx.fidelity(target as u128);
                 let reference = dense_fidelity(&c, target);
                 assert!(
                     (exact - reference).abs() < 1e-9,
@@ -314,7 +315,7 @@ mod tests {
         let dense = run(&c);
         for target in 0..(1usize << n) {
             assert!(
-                xx.amplitude(target).approx_eq(dense.amplitude(target), 1e-9),
+                xx.amplitude(target as u128).approx_eq(dense.amplitude(target), 1e-9),
                 "target {target:05b}"
             );
         }
@@ -385,7 +386,7 @@ mod tests {
             c.xx(a, b, rng.gen_range(-1.0..1.0));
         }
         let xx = XxCircuit::from_circuit(&c).unwrap();
-        for target in [0usize, 0b101010, 0b111111] {
+        for target in [0u128, 0b101010, 0b111111] {
             assert!(xx.fidelity(target) <= xx.min_qubit_agreement(target) + 1e-12);
         }
     }
@@ -404,7 +405,7 @@ mod tests {
         // Perfect calibration: each coupling contributes XX(π) = −i·X⊗X per
         // pair; with 15 partners per qubit the net flip is X^15 = X, so the
         // expected output sets every class qubit to 1.
-        let mut expected = 0usize;
+        let mut expected: u128 = 0;
         for &q in &class {
             expected |= 1 << q;
         }

@@ -327,7 +327,7 @@ impl VirtualTrap {
     pub fn run_xx_test(
         &mut self,
         gates: &[(Coupling, f64)],
-        target: usize,
+        target: itqc_sim::BitString,
         shot_count: usize,
         activity: Activity,
     ) -> usize {
@@ -363,7 +363,7 @@ impl VirtualTrap {
     pub fn run_xx_test_population(
         &mut self,
         gates: &[(Coupling, f64)],
-        target: usize,
+        target: itqc_sim::BitString,
         shot_count: usize,
         activity: Activity,
     ) -> usize {

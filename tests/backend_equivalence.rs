@@ -51,7 +51,7 @@ fn marginals_and_probabilities_agree_to_1e9() {
             );
         }
         for _ in 0..8 {
-            let target = rng.gen::<usize>() & ((1 << n) - 1);
+            let target = (rng.gen::<usize>() & ((1 << n) - 1)) as u128;
             assert!(
                 (dense.probability(target) - analytic.probability(target)).abs() < 1e-9,
                 "case {case}, target {target:b}"
@@ -291,11 +291,11 @@ fn cost_model_prediction_brackets_measured_build_and_sample_time() {
     }
 }
 
-fn sample_via(
-    dists: &[itqc_backend::dist::ComponentDist],
+fn sample_via<S: itqc_backend::SampleComponent>(
+    dists: &[S],
     rng: &mut SmallRng,
     shots: usize,
-) -> Vec<usize> {
+) -> Vec<itqc_backend::BitString> {
     itqc_backend::sample_strings_blocked(dists, rng, shots)
 }
 

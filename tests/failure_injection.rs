@@ -98,7 +98,7 @@ fn out_of_model_phase_fault_is_caught_by_the_cancellation_breaker() {
         }
     }
     let counts = trap.run_circuit(&noisy, 300, Activity::Testing);
-    let hits = *counts.get(&target).unwrap_or(&0);
+    let hits = *counts.get(&(target as usize)).unwrap_or(&0);
     assert!((hits as f64 / 300.0) < 0.1, "breaker must expose the phase fault, got {hits}/300");
 }
 

@@ -221,6 +221,72 @@ fn fig8_32q_knees_match_paper_exactly() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Beyond-paper scale (fig8_xl / table2_xl): chain-sampled 32-qubit
+// components, common-mode ambient — see EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig8_xl_64q_knees_are_pinned() {
+    // EXPERIMENTS.md fig8_xl row (120 trials, seed 20220402): 20 % at
+    // 2-MS and 15 % at 4-MS on 64 qubits — every first-round class is a
+    // 32-qubit complete component, answered by the chain sampler (no
+    // joint table exists above 20 qubits). The knees are plateau
+    // crossings (P(identify) ≈ 0.77 one grid step below the 2-MS knee,
+    // ≈ 1.00 on it), so the reduced 30-trial count crosses at the same
+    // grid points.
+    for (reps, pinned) in [(2, 0.20), (4, 0.15)] {
+        let min_u = fig8_min_u95(64, reps, 30).expect("64q knee must exist below 50%");
+        assert!(
+            (min_u - pinned).abs() < 1e-9,
+            "64q {reps}MS knee {min_u:.2} vs pinned {pinned:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig8_xl_chain_path_is_thread_invariant() {
+    // The chain descent consumes exactly one uniform per component per
+    // shot, so the 64-qubit panel must stay bit-identical across worker
+    // counts like every paper-size panel.
+    let tag = "fig8/n=64/r=2";
+    let threshold =
+        fig8_threshold(64, 2, 30, 0, BackendChoice::Auto, seed_for(&format!("{tag}/threshold")));
+    let a = fig8_curve(64, 2, threshold, 6, 1, BackendChoice::Auto, seed_for(tag));
+    let b = fig8_curve(64, 2, threshold, 6, 8, BackendChoice::Auto, seed_for(tag));
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.p_identify, y.p_identify);
+        assert_eq!(x.faulty_mean.to_bits(), y.faulty_mean.to_bits());
+        assert_eq!(x.healthy_mean.to_bits(), y.healthy_mean.to_bits());
+    }
+}
+
+#[test]
+fn table2_xl_64q_row_tracks_recorded_values() {
+    // EXPERIMENTS.md table2_xl row (seed 20220402): 100 / 12.7 / 1.3 %
+    // for 1/2/3 faults at N = 64 — the backend-routed pipeline answers
+    // every ExactTarget score from the chain sampler's (z_T, k) tables.
+    // Windows are the recorded value ± the 95 % half-width at the
+    // reduced trial counts (n = 60: ±8.4 points at p = 0.127; the
+    // 3-fault cell at p ≈ 0.01 gets a pure ceiling).
+    let cell = |k: usize, trials: usize| {
+        itqc_bench::table2_identification_rate_backed(
+            64,
+            k,
+            trials,
+            0,
+            DecoderPolicy::Ranked,
+            BackendChoice::Auto,
+            seed_for(&format!("t2xl/64/{k}")),
+        )
+    };
+    assert_eq!(cell(1, 25), 1.0, "single faults must always be identified at N = 64");
+    let p2 = cell(2, 60);
+    assert!((0.03..=0.25).contains(&p2), "2-fault 64q cell {p2:.3} far from the recorded 0.127");
+    let p3 = cell(3, 40);
+    assert!(p3 <= 0.15, "3-fault 64q cell {p3:.3} implausibly above the recorded 0.013");
+}
+
 #[test]
 fn fig8_contrast_shape_matches_paper_reading() {
     // The qualitative claims of the figure, at the binary's seeds: the

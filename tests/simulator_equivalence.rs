@@ -47,7 +47,7 @@ fn fidelity_agreement() {
         let (circuit, xx) = build_both(n, &gates);
         let dense = run(&circuit);
         let target = rng.gen::<usize>() & ((1 << n) - 1);
-        let f_xx = xx.fidelity(target);
+        let f_xx = xx.fidelity(target as u128);
         let f_dense = dense.probability(target);
         assert!(
             (f_xx - f_dense).abs() < 1e-9,
@@ -118,6 +118,6 @@ fn thirty_two_qubit_class_test_beyond_dense_reach() {
     for &q in &class {
         target |= 1 << q; // 2-MS per coupling, degree 15 (odd) → all flip
     }
-    let f = xx.fidelity(target);
+    let f = xx.fidelity(target as u128);
     assert!(f > 0.0 && f < 1.0, "fidelity {f}");
 }
