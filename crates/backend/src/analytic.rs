@@ -136,12 +136,17 @@ impl ComponentDistCache {
     ) -> ComponentSampler {
         if let Some(hit) = self.map.get(&key) {
             self.counters.hits += 1;
+            // Which requests hit depends on how trials were sharded
+            // across threads (each thread owns a cache) — nd telemetry.
+            itqc_obs::event::add_nd("backend.component_cache.hits", 1);
             return hit.clone();
         }
         self.counters.misses += 1;
+        itqc_obs::event::add_nd("backend.component_cache.misses", 1);
         let dist = build();
         if self.map.len() >= COMPONENT_CACHE_CAPACITY {
             self.counters.evictions += self.map.len() as u64;
+            itqc_obs::event::add_nd("backend.component_cache.evictions", self.map.len() as u64);
             self.map.clear(); // epoch flush, same policy as PrepCache
         }
         self.map.insert(key, dist.clone());
@@ -335,6 +340,13 @@ impl XxPrepared {
             .iter()
             .map(|(sub, mask)| {
                 cache.get_or_build(xx_key(sub), || {
+                    // Built (not cache-served) component tables, by
+                    // size: the prep phase of the observed cost report.
+                    itqc_obs::event::observe_nd(
+                        "backend.prep.component_qubits",
+                        mask.count_ones() as u64,
+                        1,
+                    );
                     if mask.count_ones() as usize <= MAX_COMPONENT {
                         ComponentSampler::Joint(component_distribution(sub))
                     } else {
@@ -421,10 +433,31 @@ fn component_distribution(sub: &XxCircuit) -> ComponentDist {
         re[y] = phi.cos();
         im[y] = -phi.sin();
     }
+    // One WHT stage per qubit, half the table per stage.
+    itqc_obs::event::add_nd("backend.wht.butterflies", (c as u64) << (c - 1));
     walsh_hadamard(&mut re, &mut im);
     let norm = 1.0 / (size * size) as f64; // |2^{−c}·WHT|²
     let probs: Vec<f64> = re.iter().zip(&im).map(|(&a, &b)| (a * a + b * b) * norm).collect();
     ComponentDist::new(qubits, &probs)
+}
+
+/// Counts the Joint-vs-Chain sampler dispatch of one sampling call.
+/// Counted at *sample* time (not table-build time, which thread-local
+/// caches make partition-dependent): the number of sampling calls
+/// routed to each engine is logical work, so it belongs to the
+/// deterministic snapshot.
+fn record_sampler_dispatch(dists: &[ComponentSampler]) {
+    if !itqc_obs::enabled() {
+        return;
+    }
+    let joint = dists.iter().filter(|d| matches!(d, ComponentSampler::Joint(_))).count() as u64;
+    let chain = dists.len() as u64 - joint;
+    if joint > 0 {
+        itqc_obs::event::add("backend.sampler.joint_components", joint);
+    }
+    if chain > 0 {
+        itqc_obs::event::add("backend.sampler.chain_components", chain);
+    }
 }
 
 impl PreparedCircuit for XxPrepared {
@@ -468,11 +501,15 @@ impl PreparedCircuit for XxPrepared {
     }
 
     fn sample(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
-        sample_strings(self.distributions(), rng, shots)
+        let dists = self.distributions();
+        record_sampler_dispatch(dists);
+        sample_strings(dists, rng, shots)
     }
 
     fn sample_block(&self, rng: &mut SmallRng, shots: usize) -> Vec<BitString> {
-        sample_strings_blocked(self.distributions(), rng, shots)
+        let dists = self.distributions();
+        record_sampler_dispatch(dists);
+        sample_strings_blocked(dists, rng, shots)
     }
 }
 

@@ -112,10 +112,14 @@ impl PrepCache {
         match self.map.get(key) {
             Some(hit) => {
                 self.counters.hits += 1;
+                // Per-backend caches live on one thread each, so the
+                // hit/miss split varies with the sharding — nd class.
+                itqc_obs::event::add_nd("backend.prep_cache.hits", 1);
                 Some(Rc::clone(hit))
             }
             None => {
                 self.counters.misses += 1;
+                itqc_obs::event::add_nd("backend.prep_cache.misses", 1);
                 None
             }
         }
@@ -128,6 +132,7 @@ impl PrepCache {
     pub fn insert(&mut self, key: Vec<u64>, prepared: Rc<XxPrepared>) {
         if self.map.len() >= CACHE_CAPACITY {
             self.counters.evictions += self.map.len() as u64;
+            itqc_obs::event::add_nd("backend.prep_cache.evictions", self.map.len() as u64);
             self.map.clear();
         }
         self.map.insert(key, prepared);

@@ -39,6 +39,13 @@ pub const DRAW_SECONDS: f64 = 14e-9;
 /// Seconds per bisection step of the inverse-CDF search.
 pub const SEARCH_STEP_SECONDS: f64 = 2.0e-9;
 
+/// Seconds per score-memo lookup that *hits* (hash the circuit key,
+/// probe the thread's table, return the stored float). The observed
+/// per-phase cost report prices memoised evaluations at this instead of
+/// a full exact walk — mispricing them as walks is exactly the table2
+/// 3.11× over-count the per-phase table was built to localise.
+pub const SCORE_MEMO_LOOKUP_SECONDS: f64 = 2.0e-7;
+
 /// Special-set size the static model assumes for chain-sampled
 /// components. Plans priced before the noisy angles exist cannot know
 /// how many qubits a trial's planted faults will touch; two (one

@@ -130,6 +130,31 @@ impl SampleComponent for ComponentDist {
     }
 }
 
+/// Records the deterministic sampling events of one sampler call.
+/// Shots drawn and components touched are *logical work* — the same at
+/// any thread count — so they belong to the deterministic snapshot; the
+/// per-component draw histogram drives the observed per-phase cost
+/// report. One call per public sampler entry point (the blocked
+/// delegator does not double-count).
+fn record_sample_events<S: SampleComponent>(dists: &[S], shots: usize) {
+    if !itqc_obs::enabled() {
+        return;
+    }
+    use itqc_obs::event;
+    event::add("backend.sample.calls", 1);
+    event::add("backend.sample.components", dists.len() as u64);
+    event::add("backend.shots.drawn", shots as u64);
+    if shots > 0 {
+        for d in dists {
+            event::observe(
+                "backend.sample.component_qubits_draws",
+                d.qubits().len() as u64,
+                shots as u64,
+            );
+        }
+    }
+}
+
 /// Samples `shots` full-register output strings from the canonical
 /// component-ordered scheme. `dists` must be sorted ascending by first
 /// qubit (prepare methods guarantee this); untouched qubits read 0.
@@ -138,6 +163,7 @@ pub fn sample_strings<S: SampleComponent>(
     rng: &mut SmallRng,
     shots: usize,
 ) -> Vec<BitString> {
+    record_sample_events(dists, shots);
     let mut out = Vec::with_capacity(shots);
     for _ in 0..shots {
         let mut s: BitString = 0;
@@ -184,6 +210,7 @@ pub fn sample_strings_blocked_with<S: SampleComponent>(
     block: usize,
 ) -> Vec<BitString> {
     assert!(block >= 1, "block size must be positive");
+    record_sample_events(dists, shots);
     let ncomp = dists.len();
     let mut out = vec![0 as BitString; shots];
     if ncomp == 0 {

@@ -58,11 +58,18 @@ pub fn cached_score<F: FnOnce() -> f64>(
     compute: F,
 ) -> f64 {
     let key = (circuit_key, target, kind);
+    // Lookups are logical work (one per memo-eligible score request,
+    // whatever the sharding) — deterministic. The hit/miss split
+    // depends on which thread's table a request lands in, so it is
+    // nondeterministic telemetry.
+    itqc_obs::event::add("backend.memo.lookups", 1);
     if let Some(hit) = SCORE_MEMO.with(|m| m.borrow().get(&key).copied()) {
         SCORE_STATS.with(|s| s.borrow_mut().0 += 1);
+        itqc_obs::event::add_nd("backend.memo.hits", 1);
         return hit;
     }
     SCORE_STATS.with(|s| s.borrow_mut().1 += 1);
+    itqc_obs::event::add_nd("backend.memo.misses", 1);
     let value = compute();
     SCORE_MEMO.with(|m| {
         let mut m = m.borrow_mut();

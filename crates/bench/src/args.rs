@@ -3,9 +3,19 @@
 use itqc_backend::BackendChoice;
 use itqc_core::DecoderPolicy;
 
+/// Where `--metrics[=PATH]` sends the end-of-run metrics document
+/// (never stdout — every byte-identity gate diffs stdout).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricsSink {
+    /// Print the JSON document to stderr (bare `--metrics`).
+    Stderr,
+    /// Write the JSON document to a sidecar file (`--metrics=PATH`).
+    File(String),
+}
+
 /// Common harness options:
-/// `--trials=N  --seed=S  --threads=N|auto  --decoder=P  --backend=B  --csv  --fast  --cost-report`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `--trials=N  --seed=S  --threads=N|auto  --decoder=P  --backend=B  --csv  --fast  --cost-report  --metrics[=PATH]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Args {
     /// Monte-Carlo trials per configuration.
     pub trials: usize,
@@ -33,6 +43,10 @@ pub struct Args {
     /// wall-clock on stderr after the run (stdout stays byte-identical,
     /// so the determinism diffs are unaffected).
     pub cost_report: bool,
+    /// Emit the end-of-run metrics document (`--metrics` → stderr,
+    /// `--metrics=PATH` → sidecar file); also enables the `itqc_obs`
+    /// event layer for the run.
+    pub metrics: Option<MetricsSink>,
 }
 
 impl Args {
@@ -55,6 +69,7 @@ impl Args {
             csv: false,
             fast: false,
             cost_report: false,
+            metrics: None,
         };
         for arg in args {
             if let Some(v) = arg.strip_prefix("--trials=") {
@@ -85,6 +100,10 @@ impl Args {
                 out.fast = true;
             } else if arg == "--cost-report" {
                 out.cost_report = true;
+            } else if arg == "--metrics" {
+                out.metrics = Some(MetricsSink::Stderr);
+            } else if let Some(path) = arg.strip_prefix("--metrics=") {
+                out.metrics = Some(MetricsSink::File(path.to_string()));
             }
         }
         if out.fast {
@@ -136,6 +155,7 @@ mod tests {
             csv: false,
             fast: false,
             cost_report: false,
+            metrics: None,
         }
     }
 
@@ -144,6 +164,17 @@ mod tests {
         let argv = ["--cost-report".to_string()].into_iter();
         assert!(Args::parse_from(10, argv).cost_report);
         assert!(!args().cost_report);
+    }
+
+    #[test]
+    fn metrics_flag_parses_both_sinks() {
+        let argv = |s: &str| [s.to_string()].into_iter();
+        assert_eq!(args().metrics, None);
+        assert_eq!(Args::parse_from(10, argv("--metrics")).metrics, Some(MetricsSink::Stderr));
+        assert_eq!(
+            Args::parse_from(10, argv("--metrics=/tmp/m.json")).metrics,
+            Some(MetricsSink::File("/tmp/m.json".to_string()))
+        );
     }
 
     #[test]

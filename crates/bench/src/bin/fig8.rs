@@ -27,6 +27,7 @@ use itqc_bench::Args;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse(120);
+    itqc_bench::metrics::init(&args);
     let sizes: Vec<usize> = std::env::args()
         .skip(1)
         .find_map(|a| a.strip_prefix("--sizes=").map(str::to_owned))
@@ -61,24 +62,30 @@ fn main() {
                 continue;
             }
             let tag = format!("fig8/n={n}/r={reps}");
-            let threshold = fig8_threshold(
-                n,
-                reps,
-                60.max(args.trials / 2),
-                args.threads,
-                args.backend,
-                args.seed_for(&format!("{tag}/threshold")),
-            );
+            let threshold = {
+                let _span = itqc_obs::span::timed("fig8.calibrate");
+                fig8_threshold(
+                    n,
+                    reps,
+                    60.max(args.trials / 2),
+                    args.threads,
+                    args.backend,
+                    args.seed_for(&format!("{tag}/threshold")),
+                )
+            };
             section(&format!("{n} qubits, {reps}-MS tests (threshold {})", f3(threshold)));
-            let curve = fig8_curve(
-                n,
-                reps,
-                threshold,
-                args.trials,
-                args.threads,
-                args.backend,
-                args.seed_for(&tag),
-            );
+            let curve = {
+                let _span = itqc_obs::span::timed("fig8.curve");
+                fig8_curve(
+                    n,
+                    reps,
+                    threshold,
+                    args.trials,
+                    args.threads,
+                    args.backend,
+                    args.seed_for(&tag),
+                )
+            };
 
             let mut table =
                 Table::new(["under-rot", "faulty-test score", "healthy-test score", "P(identify)"]);
@@ -115,4 +122,5 @@ fn main() {
         let prediction = itqc_bench::cost_report::fig8_prediction(&sizes, args.trials, FIG8_SHOTS);
         itqc_bench::cost_report::emit("fig8", &prediction, started.elapsed());
     }
+    itqc_bench::metrics::emit_if_requested("fig8", &args, started.elapsed());
 }

@@ -28,6 +28,7 @@ use rand::SeedableRng;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse(60);
+    itqc_bench::metrics::init(&args);
     let decoder = args.decoder();
     section(&format!(
         "Fig. 9: P(identify k largest faults) vs composite-law spread sigma ({decoder} decoder)"
@@ -98,4 +99,5 @@ fn main() {
         let prediction = itqc_bench::cost_report::fig9_prediction(args.trials);
         itqc_bench::cost_report::emit("fig9", &prediction, started.elapsed());
     }
+    itqc_bench::metrics::emit_if_requested("fig9", &args, started.elapsed());
 }

@@ -32,7 +32,9 @@ use itqc_bench::Args;
 use itqc_faults::adversarial::ConfigClass;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse(200);
+    itqc_bench::metrics::init(&args);
     section("Adversarial fault-coverage scorecard");
     println!(
         "planted |u|: {}  canary rotations under countermeasures: {ADV_CANARY_ROTATIONS}",
@@ -86,4 +88,5 @@ fn main() {
          the uniform-draw level under rotating canary subsets + disputed-member\n\
          interrogation; false accusations stay 0 in every cell."
     );
+    itqc_bench::metrics::emit_if_requested("fig_adv", &args, started.elapsed());
 }

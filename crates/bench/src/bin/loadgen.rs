@@ -12,26 +12,43 @@
 //! ```
 //!
 //! Flags (all optional): `--traps=N --workers=N|auto --minutes=N`
-//! `--seed=N --qubits=N --rate=F --service-mean=F --cache-budget-mb=N`.
-//! Defaults: 256 traps for one simulated hour at the fleet's default
-//! operating point (4 jobs/trap/min, 8 s mean service ≈ 1.4 M
-//! jobs/simulated-day).
+//! `--seed=N --qubits=N --rate=F --service-mean=F --cache-budget-mb=N`
+//! `--metrics[=PATH]`. Defaults: 256 traps for one simulated hour at
+//! the fleet's default operating point (4 jobs/trap/min, 8 s mean
+//! service ≈ 1.4 M jobs/simulated-day).
+//!
+//! `--metrics` enables the `itqc_obs` layer and emits the versioned
+//! JSON metrics document (fleet registry merged with the ambient
+//! backend/core counters) to stderr, or to a sidecar file with
+//! `--metrics=PATH` — never to stdout, which stays worker-diffable.
 
+use itqc_bench::args::MetricsSink;
 use itqc_fleet::{Fleet, FleetConfig, MINUTES_PER_DAY};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--traps=N] [--workers=N|auto] [--minutes=N] [--seed=N] \
-         [--qubits=N] [--rate=F] [--service-mean=F] [--cache-budget-mb=N]"
+         [--qubits=N] [--rate=F] [--service-mean=F] [--cache-budget-mb=N] [--metrics[=PATH]]"
     );
     std::process::exit(2);
 }
 
-fn parse_flags() -> (FleetConfig, u64) {
+fn parse_flags() -> (FleetConfig, u64, Option<MetricsSink>) {
     let mut config = FleetConfig { traps: 256, ..FleetConfig::default() };
     let mut minutes = 60u64;
+    let mut metrics = None;
     for arg in std::env::args().skip(1) {
+        // `--metrics` is the one flag with an optional value, so it is
+        // matched before the strict `flag=value` split.
+        if arg == "--metrics" {
+            metrics = Some(MetricsSink::Stderr);
+            continue;
+        }
+        if let Some(path) = arg.strip_prefix("--metrics=") {
+            metrics = Some(MetricsSink::File(path.to_string()));
+            continue;
+        }
         let Some((flag, value)) = arg.split_once('=') else { usage() };
         let ok = match flag {
             "--traps" => value.parse().map(|v| config.traps = v).is_ok(),
@@ -54,11 +71,14 @@ fn parse_flags() -> (FleetConfig, u64) {
             usage();
         }
     }
-    (config, minutes)
+    (config, minutes, metrics)
 }
 
 fn main() {
-    let (config, minutes) = parse_flags();
+    let (config, minutes, metrics) = parse_flags();
+    if metrics.is_some() {
+        itqc_obs::set_enabled(true);
+    }
     let workers = config.workers;
     let mut fleet = Fleet::new(config);
     let start = Instant::now();
@@ -87,5 +107,15 @@ fn main() {
     );
     if summary.jobs_per_machine_day() < 1_000_000.0 && minutes > 0 {
         eprintln!("loadgen: WARNING below the 1M jobs/machine-day target");
+    }
+    if let Some(sink) = &metrics {
+        // Merge the fleet's per-instance registry (cache/scheduler
+        // counters) into the ambient one (backend/core events flushed
+        // at tick barriers) and emit one document.
+        itqc_obs::event::flush();
+        let registry = itqc_obs::global();
+        registry.absorb(fleet.obs());
+        let doc = registry.document("loadgen", sim_wall.as_secs_f64());
+        itqc_bench::metrics::write_doc(sink, &doc);
     }
 }

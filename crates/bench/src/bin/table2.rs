@@ -31,6 +31,7 @@ use itqc_core::DecoderPolicy;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse(300);
+    itqc_bench::metrics::init(&args);
     let xl = std::env::args().skip(1).any(|a| a == "--xl");
     let decoder = args.decoder();
     section(&format!("Table II: P(identify) for k same-magnitude faults ({decoder} decoder)"));
@@ -115,4 +116,5 @@ fn main() {
         let prediction = itqc_bench::cost_report::table2_prediction(args.trials);
         itqc_bench::cost_report::emit("table2", &prediction, started.elapsed());
     }
+    itqc_bench::metrics::emit_if_requested("table2", &args, started.elapsed());
 }

@@ -18,18 +18,27 @@
 //!
 //! Adaptive protocols do not announce their exact test count up front,
 //! so the plans below count the deterministic battery passes plus a
-//! flat [`ADAPTIVE_TESTS_PER_TRIAL`] allowance. Walk counts are a
-//! deliberate over-count: the cross-trial score memo
+//! flat [`ADAPTIVE_TESTS_PER_TRIAL`] allowance, and the static walk
+//! count prices every score evaluation as a full `2^c` walk — an
+//! over-count, because the cross-trial score memo
 //! ([`itqc_backend::memo`]) turns repeated evaluations into cache hits
-//! the static plan cannot see, so walk-heavy predictions (table2) land
-//! ~2–3× above measured — still inside the CI gate, which accepts a
-//! predicted/measured ratio anywhere in `[0.25, 4.0]`. The report
-//! exists to catch the model (or an engine regression) drifting out of
-//! touch by an order of magnitude, not to flatter a microbenchmark.
+//! (historically ~3× on table2). `--cost-report` therefore enables the
+//! `itqc_obs` event layer and reprices the run from its *observed*
+//! counters ([`observed_phases`]): memoized trials are priced at
+//! lookup cost, real Gray walks and closed-form worst-qubit
+//! evaluations are split, and the gated ratio becomes
+//! observed/measured — tight enough for a `[0.25, 2.0]` gate on table2
+//! (fig8/fig9 keep `[0.25, 4.0]`). The static prediction stays on the
+//! line as the plan-level sanity check and is the fallback ratio when
+//! the layer is off. The report exists to catch the model (or an
+//! engine regression) drifting out of touch by an order of magnitude,
+//! not to flatter a microbenchmark.
 
+use itqc_backend::cost::{PHASE_STEP_SECONDS, SCORE_MEMO_LOOKUP_SECONDS};
 use itqc_backend::{CostReport, SimCostModel};
 use itqc_circuit::Coupling;
 use itqc_core::{first_round_classes, LabelSpace};
+use itqc_obs::Snapshot;
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -210,21 +219,131 @@ pub fn table2_prediction(trials: usize) -> RunPrediction {
     p
 }
 
+/// One phase of the per-phase predicted-vs-observed table: the static
+/// plan's seconds next to the same unit prices applied to the *observed*
+/// event counters of the run.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseCost {
+    /// Phase name (`prep`/`walk`/`memo`/`sample`/`harness`).
+    pub phase: &'static str,
+    /// Static-plan seconds for the phase.
+    pub predicted: f64,
+    /// Observed-counter seconds for the phase.
+    pub observed: f64,
+}
+
+fn hist<'a>(snap: &'a Snapshot, name: &str) -> &'a [(u64, u64)] {
+    snap.histograms.get(name).map(Vec::as_slice).unwrap_or(&[])
+}
+
+/// Prices the run's *observed* event counters phase by phase with the
+/// same static unit costs, next to the plan's prediction. This is what
+/// localises cost-model drift: a static plan prices every score
+/// evaluation as a full `2^c` walk, but the observed table splits them
+/// into real Gray walks (memo misses), closed-form worst-qubit
+/// evaluations, backend table lookups, and memo lookup traffic — so a
+/// whole-run ratio of 3× decomposes into "the walk phase is over-counted
+/// 10×, everything else is fine". Returns `None` when the observability
+/// layer is off (plain `--cost-report` runs enable it).
+pub fn observed_phases(prediction: &RunPrediction) -> Option<Vec<PhaseCost>> {
+    if !itqc_obs::enabled() {
+        return None;
+    }
+    itqc_obs::event::flush();
+    let model = SimCostModel::new();
+    let det = itqc_obs::global().deterministic_snapshot();
+    let nd = itqc_obs::global().nondeterministic_snapshot();
+    // Tables actually built (cache hits excluded), by component size.
+    // (`fold` rather than `sum`: an empty f64 `sum()` is `-0.0`, which
+    // would render as "-0.00 s" for phases a binary never exercises.)
+    let prep: f64 = hist(&nd, "backend.prep.component_qubits")
+        .iter()
+        .map(|&(c, w)| w as f64 * model.table_build_seconds(&[c as usize]))
+        .fold(0.0, |acc, s| acc + s);
+    // Exact evaluation: real Gray walks at the exponential price,
+    // closed-form worst-qubit evaluations at their O(support²)
+    // trig cost, backend-path exact queries at table-lookup cost.
+    let walks: f64 = hist(&nd, "core.walk.support_qubits")
+        .iter()
+        .map(|&(c, w)| w as f64 * model.exact_walk_seconds(&[c as usize]))
+        .fold(0.0, |acc, s| acc + s);
+    let agreements: f64 = hist(&nd, "core.agreement.support_qubits")
+        .iter()
+        .map(|&(c, w)| w as f64 * (c * c) as f64 * PHASE_STEP_SECONDS)
+        .fold(0.0, |acc, s| acc + s);
+    let queries = det.counters.get("core.exact.queries").copied().unwrap_or(0);
+    let walk = walks + agreements + queries as f64 * SCORE_MEMO_LOOKUP_SECONDS;
+    // Memoised score traffic the static plan cannot see: every lookup
+    // pays key construction + hash, hits pay nothing more (their eval
+    // was priced in the walk phase when it was a miss).
+    let lookups = det.counters.get("backend.memo.lookups").copied().unwrap_or(0);
+    let memo = lookups as f64 * SCORE_MEMO_LOOKUP_SECONDS;
+    // Strings drawn, priced per component size actually sampled.
+    let sample: f64 = hist(&det, "backend.sample.component_qubits_draws")
+        .iter()
+        .map(|&(c, w)| model.sample_seconds(&[c as usize], w))
+        .fold(0.0, |acc, s| acc + s);
+    Some(vec![
+        PhaseCost { phase: "prep", predicted: prediction.backend.table_seconds, observed: prep },
+        PhaseCost { phase: "walk", predicted: prediction.backend.walk_seconds, observed: walk },
+        PhaseCost { phase: "memo", predicted: 0.0, observed: memo },
+        PhaseCost {
+            phase: "sample",
+            predicted: prediction.backend.sample_seconds,
+            observed: sample,
+        },
+        PhaseCost {
+            phase: "harness",
+            predicted: prediction.harness_seconds(),
+            observed: prediction.harness_seconds(),
+        },
+    ])
+}
+
 /// Prints the prediction next to the measured wall-clock on stderr.
-/// The final `ratio` token (predicted / measured) is what the CI gate
-/// bounds-checks.
+/// The final `ratio` token is what the CI gate bounds-checks: with the
+/// observability layer on (any `--cost-report` run) it is the
+/// observed-counter pricing over measured, preceded by the per-phase
+/// table; with the layer off it falls back to the static prediction
+/// over measured.
 pub fn emit(label: &str, prediction: &RunPrediction, measured: Duration) {
     let predicted = prediction.total_seconds();
     let measured_s = measured.as_secs_f64();
-    let ratio = predicted / measured_s.max(1e-9);
-    eprintln!(
-        "cost-report {label}: predicted {predicted:.1} s [{backend}; {tests} tests x harness \
-         {overhead:.0} us = {harness:.1} s], measured {measured_s:.1} s, ratio {ratio:.2}",
-        backend = prediction.backend,
-        tests = prediction.tests,
-        overhead = TEST_OVERHEAD_SECONDS * 1e6,
-        harness = prediction.harness_seconds(),
-    );
+    match observed_phases(prediction) {
+        Some(phases) => {
+            for p in &phases {
+                eprintln!(
+                    "cost-report-phase {label} {phase}: predicted {pred:.2} s, observed {obs:.2} s",
+                    phase = p.phase,
+                    pred = p.predicted,
+                    obs = p.observed,
+                );
+            }
+            let observed: f64 = phases.iter().map(|p| p.observed).sum();
+            let ratio = observed / measured_s.max(1e-9);
+            eprintln!(
+                "cost-report {label}: predicted {predicted:.1} s [{backend}; {tests} tests x \
+                 harness {overhead:.0} us = {harness:.1} s], observed {observed:.1} s, measured \
+                 {measured_s:.1} s, ratio {ratio:.2}",
+                backend = prediction.backend,
+                tests = prediction.tests,
+                overhead = TEST_OVERHEAD_SECONDS * 1e6,
+                harness = prediction.harness_seconds(),
+            );
+        }
+        None => {
+            let ratio = predicted / measured_s.max(1e-9);
+            eprintln!(
+                "cost-report {label}: predicted {predicted:.1} s [{backend}; {tests} tests x \
+                 harness {overhead:.0} us = {harness:.1} s], measured {measured_s:.1} s, ratio \
+                 {ratio:.2}",
+                backend = prediction.backend,
+                tests = prediction.tests,
+                overhead = TEST_OVERHEAD_SECONDS * 1e6,
+                harness = prediction.harness_seconds(),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ pub mod detectability;
 pub mod duty_cycle;
 pub mod echo;
 pub mod fig9;
+pub mod metrics;
 pub mod natural_faults;
 pub mod output;
 pub mod par_trials;

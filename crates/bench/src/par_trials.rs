@@ -71,8 +71,10 @@ where
 {
     let threads = resolve_threads(threads).min(count.max(1));
     if threads <= 1 || count <= 1 {
+        let _span = itqc_obs::span::timed("bench.par_map.serial");
         return (0..count).map(f).collect();
     }
+    let _span = itqc_obs::span::timed("bench.par_map.parallel");
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -86,12 +88,19 @@ where
                         }
                         local.push((i, f(i)));
                     }
+                    // Fold this worker's ambient event shard into the
+                    // global registry before the thread retires; the
+                    // merge is commutative addition, so the registry's
+                    // deterministic snapshot is the same at any thread
+                    // count.
+                    itqc_obs::event::flush();
                     local
                 })
             })
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("trial worker panicked")).collect()
     });
+    let _merge = itqc_obs::span::timed("bench.par_map.merge");
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, t)| t).collect()
 }

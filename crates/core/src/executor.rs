@@ -127,13 +127,18 @@ impl ExactExecutor {
                 let xx = self.noisy_xx(spec);
                 if spec.gates.len() >= SCORE_MEMO_MIN_GATES {
                     cached_score(xx_key(&xx), spec.target, ScoreKind::ExactTarget, || {
+                        record_gray_walk(&xx);
                         xx.fidelity(spec.target)
                     })
                 } else {
+                    record_gray_walk(&xx);
                     xx.fidelity(spec.target)
                 }
             }
-            Some(_) => self.prepare(spec).probability(spec.target),
+            Some(_) => {
+                itqc_obs::event::add("core.exact.queries", 1);
+                self.prepare(spec).probability(spec.target)
+            }
         }
     }
 
@@ -150,8 +155,14 @@ impl ExactExecutor {
             None => {
                 let xx = self.noisy_xx(spec);
                 let eval = |xx: &XxCircuit| match spec.score {
-                    ScoreMode::ExactTarget => xx.fidelity(spec.target),
-                    ScoreMode::WorstQubit => xx.min_qubit_agreement(spec.target),
+                    ScoreMode::ExactTarget => {
+                        record_gray_walk(xx);
+                        xx.fidelity(spec.target)
+                    }
+                    ScoreMode::WorstQubit => {
+                        record_agreement_eval(xx);
+                        xx.min_qubit_agreement(spec.target)
+                    }
                 };
                 if spec.gates.len() >= SCORE_MEMO_MIN_GATES {
                     let kind = match spec.score {
@@ -164,6 +175,7 @@ impl ExactExecutor {
                 }
             }
             Some(_) => {
+                itqc_obs::event::add("core.exact.queries", 1);
                 let prepared = self.prepare(spec);
                 match spec.score {
                     ScoreMode::ExactTarget => prepared.probability(spec.target),
@@ -171,6 +183,25 @@ impl ExactExecutor {
                 }
             }
         }
+    }
+}
+
+/// Records one actual `2^m` Gray-code walk (an unmemoised ExactTarget
+/// evaluation) into the observed-cost histogram. Which evaluations the
+/// per-thread score memo absorbs depends on the sharding, so this is
+/// nondeterministic telemetry.
+fn record_gray_walk(xx: &XxCircuit) {
+    if itqc_obs::enabled() {
+        itqc_obs::event::observe_nd("core.walk.support_qubits", xx.support().len() as u64, 1);
+    }
+}
+
+/// Records one closed-form worst-qubit evaluation (`O(support·gates)`,
+/// no exponential walk) — priced separately from Gray walks by the
+/// observed cost report.
+fn record_agreement_eval(xx: &XxCircuit) {
+    if itqc_obs::enabled() {
+        itqc_obs::event::observe_nd("core.agreement.support_qubits", xx.support().len() as u64, 1);
     }
 }
 

@@ -425,6 +425,20 @@ pub fn diagnose_all_excluding<E: TestExecutor>(
         }
     }
 
+    // Per-diagnosis outcome counters: a trial's diagnosis is a pure
+    // function of its executor and seeds, so these totals are
+    // partition-invariant and belong to the deterministic snapshot.
+    if itqc_obs::enabled() {
+        use itqc_obs::event;
+        event::add("core.decoder.diagnoses", 1);
+        event::add("core.decoder.tests_run", tests_run as u64);
+        event::add("core.decoder.adaptive_rounds", adaptations as u64);
+        event::add("core.decoder.faults_found", diagnosed.len() as u64);
+        event::add(
+            if converged { "core.decoder.converged" } else { "core.decoder.unconverged" },
+            1,
+        );
+    }
     MultiFaultReport { diagnosed, tests_run, adaptations, converged }
 }
 

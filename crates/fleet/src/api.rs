@@ -18,6 +18,7 @@ use crate::pool::{shard_bounds, FromShard, Shard, ToShard};
 use crate::trap_state::{FleetParams, TrapStatus};
 use itqc_backend::{CacheCounters, XxPrepared};
 use itqc_faults::drift::{JumpDrift, OrnsteinUhlenbeckDrift};
+use itqc_obs::{Counter, Registry};
 use itqc_trap::duty::Activity;
 use std::fmt;
 use std::sync::Arc;
@@ -84,7 +85,7 @@ impl Default for FleetConfig {
 }
 
 impl FleetConfig {
-    fn params(&self) -> FleetParams {
+    fn params(&self, l1_hits: Counter, l1_misses: Counter) -> FleetParams {
         FleetParams {
             n_qubits: self.n_qubits,
             canary_cadence_min: self.canary_cadence_min.max(1),
@@ -94,25 +95,46 @@ impl FleetConfig {
             job_deadline_s: self.job_deadline_s,
             drift: self.drift,
             diag: self.diag.clone(),
+            l1_hits,
+            l1_misses,
         }
     }
 }
 
 /// Aggregate fleet statistics, accumulated deterministically across
-/// ticks (trap-id merge order; integer counters and order-fixed f64
-/// streams only).
-#[derive(Debug, Default)]
+/// ticks (trap-id merge order; registry-backed integer counters and
+/// order-fixed f64 streams only).
+#[derive(Debug)]
 struct FleetStats {
-    submitted: u64,
-    completed: u64,
+    submitted: Counter,
+    completed: Counter,
     latencies: Vec<f64>,
-    canaries: u64,
-    trips: u64,
-    diagnoses: u64,
-    tests_run: u64,
-    faults_fixed: u64,
-    prep_requests: u64,
-    prep_batch_builds: u64,
+    canaries: Counter,
+    trips: Counter,
+    diagnoses: Counter,
+    tests_run: Counter,
+    faults_fixed: Counter,
+    prep_requests: Counter,
+    prep_batch_builds: Counter,
+}
+
+impl FleetStats {
+    /// Registers every scheduler counter in the fleet's registry, so
+    /// the summary and the `metrics` document read the same handles.
+    fn new(obs: &Registry) -> Self {
+        FleetStats {
+            submitted: obs.counter("fleet.jobs.submitted"),
+            completed: obs.counter("fleet.jobs.completed"),
+            latencies: Vec::new(),
+            canaries: obs.counter("fleet.canary.runs"),
+            trips: obs.counter("fleet.canary.trips"),
+            diagnoses: obs.counter("fleet.diagnose.runs"),
+            tests_run: obs.counter("fleet.diagnose.tests"),
+            faults_fixed: obs.counter("fleet.faults.fixed"),
+            prep_requests: obs.counter("fleet.prep.requests"),
+            prep_batch_builds: obs.counter("fleet.prep.batch_builds"),
+        }
+    }
 }
 
 /// The running fleet service. Dropping it shuts the workers down.
@@ -123,6 +145,9 @@ pub struct Fleet {
     tick: u64,
     stats: FleetStats,
     pending_submissions: Vec<(usize, f64)>,
+    obs: Arc<Registry>,
+    l1_hits: Counter,
+    l1_misses: Counter,
 }
 
 impl Fleet {
@@ -145,19 +170,34 @@ impl Fleet {
         } else {
             config.workers
         };
-        let params = Arc::new(config.params());
+        // Per-fleet registry: every cache and scheduler counter is a
+        // registered handle, so the `stats`/`summary` renderings and
+        // the deterministic metrics snapshot read the same totals.
+        let obs = Arc::new(Registry::new());
+        let l1_hits = obs.counter("fleet.cache.l1.hits");
+        let l1_misses = obs.counter("fleet.cache.l1.misses");
+        let params = Arc::new(config.params(l1_hits.clone(), l1_misses.clone()));
         let shards = shard_bounds(config.traps, workers)
             .into_iter()
             .map(|(lo, hi)| Shard::spawn(lo, hi, config.seed, Arc::clone(&params)))
             .collect();
-        let cache = SharedPrepCache::new(config.cache_budget_bytes);
+        let cache = SharedPrepCache::with_counters(
+            config.cache_budget_bytes,
+            obs.counter("fleet.cache.l2.hits"),
+            obs.counter("fleet.cache.l2.misses"),
+            obs.counter("fleet.cache.l2.evictions"),
+        );
+        let stats = FleetStats::new(&obs);
         Fleet {
             config,
             shards,
             cache,
             tick: 0,
-            stats: FleetStats::default(),
+            stats,
             pending_submissions: Vec::new(),
+            obs,
+            l1_hits,
+            l1_misses,
         }
     }
 
@@ -174,6 +214,13 @@ impl Fleet {
     /// Shared (L2) cache counters.
     pub fn cache_counters(&self) -> CacheCounters {
         self.cache.counters()
+    }
+
+    /// The fleet's observability registry. Holds every registry-backed
+    /// cache and scheduler counter; its deterministic snapshot is
+    /// bit-identical at any worker count.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Resident shared-cache entries and bytes.
@@ -229,11 +276,11 @@ impl Fleet {
                 panic!("phase A reply expected");
             };
             for req in requests {
-                self.stats.prep_requests += 1;
+                self.stats.prep_requests.incr();
                 if self.cache.contains(&req.key) {
                     self.cache.touch(&req.key, tick);
                 } else {
-                    self.stats.prep_batch_builds += 1;
+                    self.stats.prep_batch_builds.incr();
                     self.cache.note_misses(1);
                     let prep = Arc::new(
                         XxPrepared::prepare(req.xx).expect("canary circuits are commuting-XX"),
@@ -255,14 +302,14 @@ impl Fleet {
             let FromShard::Ticked(out) = shard.recv() else {
                 panic!("phase B reply expected");
             };
-            self.stats.submitted += out.submitted;
-            self.stats.completed += out.completed;
+            self.stats.submitted.add(out.submitted);
+            self.stats.completed.add(out.completed);
             self.stats.latencies.extend(out.latencies);
-            self.stats.canaries += out.canaries;
-            self.stats.trips += out.trips;
-            self.stats.diagnoses += out.diagnoses;
-            self.stats.tests_run += out.tests_run;
-            self.stats.faults_fixed += out.faults_fixed;
+            self.stats.canaries.add(out.canaries);
+            self.stats.trips.add(out.trips);
+            self.stats.diagnoses.add(out.diagnoses);
+            self.stats.tests_run.add(out.tests_run);
+            self.stats.faults_fixed.add(out.faults_fixed);
             self.cache.note_misses(out.l2.misses);
             for key in &out.touched {
                 self.cache.note_hit(key, tick);
@@ -294,7 +341,6 @@ impl Fleet {
     /// The end-of-run summary (non-destructive; callable mid-run).
     pub fn summary(&mut self) -> FleetSummary {
         let mut duty = [0.0f64; Activity::ALL.len()];
-        let mut l1 = CacheCounters::default();
         let mut queued = 0usize;
         for shard in &self.shards {
             shard.send(ToShard::Drain);
@@ -307,29 +353,32 @@ impl Fleet {
                 for (acc, s) in duty.iter_mut().zip(d.duty.iter()) {
                     *acc += s;
                 }
-                l1 += d.l1;
                 queued += d.queue_depth;
             }
         }
+        // The drain barrier above synchronises every worker, so the
+        // shared L1 handles hold the fleet-wide totals at this point.
+        let l1 =
+            CacheCounters { hits: self.l1_hits.get(), misses: self.l1_misses.get(), evictions: 0 };
         let mut sorted = self.stats.latencies.clone();
         sorted.sort_by(f64::total_cmp);
         FleetSummary {
             traps: self.config.traps,
             seed: self.config.seed,
             ticks: self.tick,
-            submitted: self.stats.submitted,
-            completed: self.stats.completed,
+            submitted: self.stats.submitted.get(),
+            completed: self.stats.completed.get(),
             queued,
             latency_p50: percentile(&sorted, 0.50),
             latency_p90: percentile(&sorted, 0.90),
             latency_p99: percentile(&sorted, 0.99),
-            canaries: self.stats.canaries,
-            trips: self.stats.trips,
-            diagnoses: self.stats.diagnoses,
-            tests_run: self.stats.tests_run,
-            faults_fixed: self.stats.faults_fixed,
-            prep_requests: self.stats.prep_requests,
-            prep_batch_builds: self.stats.prep_batch_builds,
+            canaries: self.stats.canaries.get(),
+            trips: self.stats.trips.get(),
+            diagnoses: self.stats.diagnoses.get(),
+            tests_run: self.stats.tests_run.get(),
+            faults_fixed: self.stats.faults_fixed.get(),
+            prep_requests: self.stats.prep_requests.get(),
+            prep_batch_builds: self.stats.prep_batch_builds.get(),
             shared_cache: self.cache.counters(),
             shared_entries: self.cache.len(),
             shared_bytes: self.cache.bytes(),

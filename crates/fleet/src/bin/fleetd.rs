@@ -17,7 +17,14 @@
 //! results never depend on it.
 //!
 //! Commands: `run <minutes>`, `submit <trap> <service_s> [count]`,
-//! `status <trap>`, `stats`, `summary`, `help`, `quit`.
+//! `status <trap>`, `stats`, `metrics`, `summary`, `help`, `quit`.
+//!
+//! `metrics` prints the deterministic counter snapshot — the fleet
+//! registry's cache/scheduler counters merged with the ambient backend
+//! event counters — as one line of JSON. Only the deterministic class
+//! is printed, so the reply is bit-identical at any `--workers` value
+//! and stdout stays diffable. The daemon enables the `itqc_obs` event
+//! layer at startup (it is a service, not a gated benchmark).
 
 use itqc_fleet::{Fleet, FleetConfig};
 use std::io::{BufRead, Write};
@@ -64,6 +71,7 @@ fn parse_flags() -> (FleetConfig, u64) {
 
 fn main() {
     let (config, minutes) = parse_flags();
+    itqc_obs::set_enabled(true);
     let mut fleet = Fleet::new(config);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -80,7 +88,7 @@ fn main() {
             None => continue,
             Some("quit") | Some("exit") => break,
             Some("help") => "commands: run <minutes> | submit <trap> <service_s> [count] | \
-                             status <trap> | stats | summary | quit"
+                             status <trap> | stats | metrics | summary | quit"
                 .to_string(),
             Some("run") => match words.next().and_then(|w| w.parse::<u64>().ok()) {
                 Some(m) => {
@@ -138,6 +146,16 @@ fn main() {
                     entries,
                     bytes
                 )
+            }
+            Some("metrics") => {
+                // Worker shards flushed at the last tick barrier; fold
+                // the scheduler thread's own shard, then merge the
+                // fleet registry with the ambient (global) one.
+                itqc_obs::event::flush();
+                let merged = itqc_obs::Registry::new();
+                merged.absorb(itqc_obs::global());
+                merged.absorb(fleet.obs());
+                merged.deterministic_snapshot().to_json()
             }
             Some("summary") => fleet.summary().to_string(),
             Some(other) => format!("error: unknown command '{other}' (try help)"),

@@ -22,6 +22,7 @@
 //! different calibration profiles.
 
 use itqc_backend::{CacheCounters, XxPrepared};
+use itqc_obs::Counter;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -73,13 +74,34 @@ pub struct SharedPrepCache {
     budget_bytes: usize,
     bytes: usize,
     next_seq: u64,
-    counters: CacheCounters,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl SharedPrepCache {
     /// An empty cache holding at most `budget_bytes` of materialized
-    /// preparation tables (estimated via [`XxPrepared::table_bytes`]).
+    /// preparation tables (estimated via [`XxPrepared::table_bytes`]),
+    /// counting into private detached handles.
     pub fn new(budget_bytes: usize) -> Self {
+        SharedPrepCache::with_counters(
+            budget_bytes,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// Like [`Self::new`], but counting into caller-supplied handles —
+    /// the fleet registers them as `fleet.cache.l2.*` in its
+    /// [`itqc_obs::Registry`], so the same totals drive the `stats`
+    /// line, the summary, and the metrics document.
+    pub fn with_counters(
+        budget_bytes: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> Self {
         SharedPrepCache {
             entries: HashMap::new(),
             snapshot: CacheSnapshot::default(),
@@ -87,7 +109,9 @@ impl SharedPrepCache {
             budget_bytes,
             bytes: 0,
             next_seq: 0,
-            counters: CacheCounters::default(),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -108,12 +132,12 @@ impl SharedPrepCache {
     pub fn lookup(&mut self, key: &[u64], tick: u64) -> Option<Arc<XxPrepared>> {
         match self.entries.get_mut(key) {
             Some(e) => {
-                self.counters.hits += 1;
+                self.hits.incr();
                 e.last_used_tick = tick;
                 Some(Arc::clone(&e.prep))
             }
             None => {
-                self.counters.misses += 1;
+                self.misses.incr();
                 None
             }
         }
@@ -123,7 +147,7 @@ impl SharedPrepCache {
     /// without re-reading the map (the worker already has the value).
     /// Refreshes the LRU stamp when the key is resident.
     pub fn note_hit(&mut self, key: &[u64], tick: u64) {
-        self.counters.hits += 1;
+        self.hits.incr();
         if let Some(e) = self.entries.get_mut(key) {
             e.last_used_tick = tick;
         }
@@ -131,7 +155,7 @@ impl SharedPrepCache {
 
     /// Records misses observed by workers against a tick snapshot.
     pub fn note_misses(&mut self, n: u64) {
-        self.counters.misses += n;
+        self.misses.add(n);
     }
 
     /// Refreshes the LRU stamp of a key a worker hit in its snapshot.
@@ -182,7 +206,7 @@ impl SharedPrepCache {
             evicted += 1;
             self.dirty = true;
         }
-        self.counters.evictions += evicted;
+        self.evictions.add(evicted);
         self.publish();
         evicted
     }
@@ -201,9 +225,14 @@ impl SharedPrepCache {
         self.entries.iter().map(|(k, e)| (k.clone(), Arc::clone(&e.prep))).collect()
     }
 
-    /// Hit/miss/eviction totals since construction.
+    /// Hit/miss/eviction totals recorded through this cache's handles
+    /// since construction.
     pub fn counters(&self) -> CacheCounters {
-        self.counters
+        CacheCounters {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 
     /// Number of resident preparations.
@@ -234,10 +263,20 @@ impl SharedPrepCache {
 #[derive(Debug, Default)]
 pub struct TrapCache {
     map: HashMap<PrepKey, Arc<XxPrepared>>,
-    counters: CacheCounters,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl TrapCache {
+    /// A tick-scoped cache counting into caller-supplied handles. The
+    /// fleet registers one `fleet.cache.l1.hits`/`.misses` pair and
+    /// shares it across every trap: each trap's lookups are its own
+    /// deterministic work, and atomic sums commute, so the shared
+    /// totals are identical at any worker count.
+    pub fn with_counters(hits: Counter, misses: Counter) -> Self {
+        TrapCache { map: HashMap::new(), hits, misses }
+    }
+
     /// Drops the previous tick's working set (not counted as eviction —
     /// retiring a working set is scope exit, not budget pressure).
     pub fn begin_tick(&mut self) {
@@ -248,11 +287,11 @@ impl TrapCache {
     pub fn get(&mut self, key: &[u64]) -> Option<Arc<XxPrepared>> {
         match self.map.get(key) {
             Some(p) => {
-                self.counters.hits += 1;
+                self.hits.incr();
                 Some(Arc::clone(p))
             }
             None => {
-                self.counters.misses += 1;
+                self.misses.incr();
                 None
             }
         }
@@ -263,9 +302,11 @@ impl TrapCache {
         self.map.insert(key, prep);
     }
 
-    /// Hit/miss totals since construction (evictions stay 0 by design).
+    /// Hit/miss totals recorded through this cache's handles
+    /// (evictions stay 0 by design). Fleet-wide rather than per-trap
+    /// when the handles are shared.
     pub fn counters(&self) -> CacheCounters {
-        self.counters
+        CacheCounters { hits: self.hits.get(), misses: self.misses.get(), evictions: 0 }
     }
 
     /// Entries in the current tick's working set.

@@ -131,6 +131,14 @@ impl Shard {
                             for t in traps.iter_mut() {
                                 merged.absorb(t.phase_b(tick, &snap));
                             }
+                            // Fold this worker's ambient event shard into
+                            // the global registry *before* the reply: the
+                            // channel send is the tick barrier, so once the
+                            // scheduler has collected every shard's reply,
+                            // a metrics query sees each completed tick's
+                            // events (commutative merge — worker-invariant
+                            // for the deterministic class).
+                            itqc_obs::event::flush();
                             if worker_tx.send(FromShard::Ticked(Box::new(merged))).is_err() {
                                 break;
                             }
@@ -143,6 +151,7 @@ impl Shard {
                         }
                         ToShard::Drain => {
                             let drains: Vec<TrapDrain> = traps.iter().map(|t| t.drain()).collect();
+                            itqc_obs::event::flush();
                             if worker_tx.send(FromShard::Drained(drains)).is_err() {
                                 break;
                             }

@@ -60,6 +60,12 @@ pub struct FleetParams {
     /// Diagnosis protocol configuration (canary threshold/shots live
     /// here too).
     pub diag: MultiFaultConfig,
+    /// Registry handle for L1 (tick-scoped) cache hits, shared across
+    /// every trap of the fleet — per-trap lookups are deterministic and
+    /// atomic sums commute, so the total is worker-invariant.
+    pub l1_hits: itqc_obs::Counter,
+    /// Registry handle for L1 cache misses (see [`Self::l1_hits`]).
+    pub l1_misses: itqc_obs::Counter,
 }
 
 /// A phase-A request for a prepared circuit, batched by the scheduler.
@@ -119,13 +125,13 @@ pub struct TrapStatus {
     pub recent_faults: Vec<(u64, Coupling)>,
 }
 
-/// Per-trap end-of-run accounting for the fleet summary.
+/// Per-trap end-of-run accounting for the fleet summary. L1 cache
+/// totals are no longer carried here — they accumulate directly into
+/// the fleet registry's `fleet.cache.l1.*` handles.
 #[derive(Clone, Debug)]
 pub struct TrapDrain {
     /// Seconds per activity, `Activity::ALL` order.
     pub duty: [f64; Activity::ALL.len()],
-    /// The trap's L1 cache counters.
-    pub l1: CacheCounters,
     /// Jobs still queued.
     pub queue_depth: usize,
 }
@@ -188,13 +194,14 @@ impl TrapState {
         let arrival_rng = SmallRng::seed_from_u64(split_seed(master_seed ^ 0xF1EE_7D00, id as u64));
         let max_reps = *params.diag.reps_ladder.last().expect("non-empty ladder");
         let canary_spec = canary_for(&trap.couplings(), max_reps, params.diag.canary_score);
+        let l1 = TrapCache::with_counters(params.l1_hits.clone(), params.l1_misses.clone());
         TrapState {
             id,
             params,
             trap,
             arrival_rng,
             queue: WorkQueue::default(),
-            l1: TrapCache::default(),
+            l1,
             canary_spec,
             next_canary_min: 0,
             submitted_this_tick: 0,
@@ -351,7 +358,7 @@ impl TrapState {
         for (slot, &a) in secs.iter_mut().zip(Activity::ALL.iter()) {
             *slot = duty.seconds(a);
         }
-        TrapDrain { duty: secs, l1: self.l1.counters(), queue_depth: self.queue.len() }
+        TrapDrain { duty: secs, queue_depth: self.queue.len() }
     }
 }
 
@@ -375,6 +382,8 @@ mod tests {
                 jump_scale: 0.3,
             },
             diag: fig2_diagnosis_config(),
+            l1_hits: itqc_obs::Counter::detached(),
+            l1_misses: itqc_obs::Counter::detached(),
         })
     }
 

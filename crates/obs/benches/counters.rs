@@ -1,0 +1,27 @@
+//! Counter-increment micro-bench backing the `make obs-check` overhead
+//! guard: a disabled ambient event must cost a branch, an enabled one a
+//! thread-local map bump, and a raw handle one relaxed atomic add.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use itqc_obs::{event, Counter};
+
+fn bench_counters(c: &mut Criterion) {
+    itqc_obs::set_enabled(false);
+    c.bench_function("event_add_disabled", |b| {
+        b.iter(|| event::add(black_box("bench.disabled"), black_box(1)))
+    });
+    itqc_obs::set_enabled(true);
+    c.bench_function("event_add_enabled", |b| {
+        b.iter(|| event::add(black_box("bench.enabled"), black_box(1)))
+    });
+    c.bench_function("event_observe_enabled", |b| {
+        b.iter(|| event::observe(black_box("bench.hist"), black_box(7), black_box(1)))
+    });
+    itqc_obs::set_enabled(false);
+    event::flush();
+    let handle = Counter::detached();
+    c.bench_function("counter_handle_add", |b| b.iter(|| handle.add(black_box(1))));
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Ambient thread-local event shards.
+//!
+//! Hot-path call sites record into a per-thread shard (no locks, no
+//! atomics beyond the enabled check); [`flush`] folds the shard into
+//! the process-global [`crate::Registry`] under its mutex. Because
+//! every shard entry is a `u64` sum or an integer histogram bucket, the
+//! fold is commutative addition and the deterministic section of the
+//! merged registry is independent of how work was sharded.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+#[cfg(test)]
+use crate::registry::Snapshot;
+
+#[derive(Default)]
+struct Shard {
+    det_counters: BTreeMap<&'static str, u64>,
+    det_hists: BTreeMap<&'static str, BTreeMap<u64, u64>>,
+    nd_counters: BTreeMap<&'static str, u64>,
+    nd_hists: BTreeMap<&'static str, BTreeMap<u64, u64>>,
+    dirty: bool,
+}
+
+thread_local! {
+    static SHARD: RefCell<Shard> = RefCell::new(Shard::default());
+}
+
+/// Adds `n` to this thread's shard of the deterministic counter
+/// `name`. No-op while the layer is disabled.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        *s.det_counters.entry(name).or_default() += n;
+        s.dirty = true;
+    });
+}
+
+/// Adds `weight` to bucket `value` of this thread's shard of the
+/// deterministic histogram `name`. No-op while disabled.
+#[inline]
+pub fn observe(name: &'static str, value: u64, weight: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        *s.det_hists.entry(name).or_default().entry(value).or_default() += weight;
+        s.dirty = true;
+    });
+}
+
+/// Nondeterministic-counter variant of [`add`] (partition-dependent
+/// quantities: thread-local cache traffic, amortised work).
+#[inline]
+pub fn add_nd(name: &'static str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        *s.nd_counters.entry(name).or_default() += n;
+        s.dirty = true;
+    });
+}
+
+/// Nondeterministic-histogram variant of [`observe`].
+#[inline]
+pub fn observe_nd(name: &'static str, value: u64, weight: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        *s.nd_hists.entry(name).or_default().entry(value).or_default() += weight;
+        s.dirty = true;
+    });
+}
+
+/// Folds this thread's shard into the global registry and clears it.
+/// Worker threads call this once before finishing (see
+/// `itqc_bench::par_trials` and the fleet shard drain); the emitting
+/// thread calls it before rendering a document. Always drains, even if
+/// the layer was disabled mid-run.
+pub fn flush() {
+    let shard = SHARD.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    if !shard.dirty {
+        return;
+    }
+    let registry = crate::global();
+    for (name, n) in shard.det_counters {
+        registry.add(name, n);
+    }
+    for (name, hist) in shard.det_hists {
+        for (value, weight) in hist {
+            registry.observe(name, value, weight);
+        }
+    }
+    for (name, n) in shard.nd_counters {
+        registry.add_nd(name, n);
+    }
+    for (name, hist) in shard.nd_hists {
+        for (value, weight) in hist {
+            registry.observe_nd(name, value, weight);
+        }
+    }
+}
+
+/// This thread's unflushed deterministic shard contents (test hook).
+#[cfg(test)]
+pub(crate) fn local_deterministic() -> Snapshot {
+    SHARD.with(|s| {
+        let s = s.borrow();
+        Snapshot {
+            counters: s.det_counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            histograms: s
+                .det_hists
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.iter().map(|(&v, &w)| (v, w)).collect()))
+                .collect(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_accumulates_before_flush() {
+        // Runs on its own thread so the shared ambient flag can't race
+        // other tests' shards into the wrong expectations.
+        std::thread::spawn(|| {
+            crate::set_enabled(true);
+            add("shard.k", 2);
+            add("shard.k", 1);
+            observe("shard.h", 4, 2);
+            let local = local_deterministic();
+            assert_eq!(local.counters["shard.k"], 3);
+            assert_eq!(local.histograms["shard.h"], vec![(4, 2)]);
+            flush();
+            assert!(local_deterministic().is_empty());
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! Scoped wall-clock phase timers.
+//!
+//! Spans measure real elapsed time and are therefore nondeterministic
+//! by construction: they are recorded straight into the global
+//! registry's span table, which only the document's
+//! `"nondeterministic"` section reports — a [`crate::Snapshot`] cannot
+//! hold them.
+
+use std::time::Instant;
+
+/// An in-flight span; records its elapsed wall-clock time under its
+/// name when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts a wall-clock span named `name`, or returns `None` while the
+/// layer is disabled (so hot paths pay one branch, not an `Instant`
+/// read). Bind the guard — `let _span = span::timed("sample");` — and
+/// the elapsed time is recorded when it leaves scope.
+#[inline]
+pub fn timed(name: &'static str) -> Option<SpanGuard> {
+    if !crate::enabled() {
+        return None;
+    }
+    Some(SpanGuard { name, start: Instant::now() })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        crate::global().record_span(self.name, ns);
+    }
+}

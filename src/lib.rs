@@ -20,6 +20,7 @@
 //! | [`trap`] | virtual machine with hidden calibration state, ion-chain physics, timing/duty model |
 //! | [`core`] | THE PAPER'S CONTRIBUTION: classes, syndromes, single-/multi-fault protocols, baselines, cost model |
 //! | [`fleet`] | `fleetd` fleet service: sharded tick scheduler, shared prepared-circuit cache, batched test plans |
+//! | [`obs`] | observability: deterministic counters/histograms, wall-clock spans, JSON metrics documents |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use itqc_core as core;
 pub use itqc_faults as faults;
 pub use itqc_fleet as fleet;
 pub use itqc_math as math;
+pub use itqc_obs as obs;
 pub use itqc_sim as sim;
 pub use itqc_trap as trap;
 

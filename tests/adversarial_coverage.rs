@@ -35,6 +35,7 @@ fn seed_for(tag: &str) -> u64 {
         csv: false,
         fast: false,
         cost_report: false,
+        metrics: None,
     }
     .seed_for(tag)
 }

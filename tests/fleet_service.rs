@@ -153,6 +153,49 @@ fn eviction_churn_stays_deterministic() {
     assert!(a.shared_bytes <= 8 << 10, "budget violated at rest: {} bytes", a.shared_bytes);
 }
 
+/// Regression pin for the `itqc_obs` counter migration: the `fleetd`
+/// `stats` line and the full summary block below were captured from the
+/// pre-migration build (bespoke counter structs) with
+/// `fleetd --traps=4 --workers=3 --seed=7`, `run 30`. Now that every
+/// fleet counter is a registry-backed [`itqc::obs::Counter`] handle,
+/// both renderings must still be byte-identical to those captures.
+#[test]
+fn stats_and_summary_render_the_pre_migration_bytes() {
+    let mut fleet =
+        Fleet::new(FleetConfig { traps: 4, workers: 3, seed: 7, ..FleetConfig::default() });
+    fleet.run_minutes(30);
+    let c = fleet.cache_counters();
+    let (entries, bytes) = fleet.cache_resident();
+    let stats = format!(
+        "minute {} shared_cache hits {} misses {} evictions {} hit_rate {:.4} \
+         entries {} bytes {}",
+        fleet.ticks(),
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.hit_rate(),
+        entries,
+        bytes
+    );
+    assert_eq!(
+        stats,
+        "minute 30 shared_cache hits 60 misses 1 evictions 0 hit_rate 0.9836 \
+         entries 1 bytes 17704"
+    );
+    let expected = "\
+fleet summary
+  traps 4 seed 7 minutes 30
+  jobs submitted 506 completed 506 queued 0 per-machine-day 24288.0
+  latency_s p50 23.867 p90 75.940 p99 175.826
+  canaries 60 trips 0 diagnoses 0 tests 0 faults_fixed 0
+  prep requests 60 batch_builds 1
+  shared_cache hits 60 misses 1 evictions 0 hit_rate 0.9836 entries 1 bytes 17704
+  l1_cache hits 0 misses 60 hit_rate 0.0000
+  duty_s jobs=3830.8 testing=151.4 calibration=0.0 adaptation=0.0 idle=3217.9
+";
+    assert_eq!(fleet.summary().to_string(), expected);
+}
+
 /// End-to-end: a drifting fleet trips canaries, diagnoses through the
 /// cached executor, and recalibrates — the maintenance loop of the
 /// paper's Fig. 2, fleet-wide.
